@@ -1,0 +1,106 @@
+// Experiment E14 (ablations called out in DESIGN.md):
+//   A1 — capacity ablation: how the headline algorithm's round count reacts
+//        to the per-round message budget c·log n (c = capacity_factor).
+//        The model grants Θ(log n); halving/doubling c should shift rounds
+//        by roughly the inverse factor in the exchange-bound phases.
+//   A2 — sorting-network ablation: Batcher (polylog, Theorem 3 class)
+//        vs. odd-even transposition (Θ(n)) as the per-phase sort.
+//   A3 — link-loss ablation: reliable exactly-once explicitization rounds
+//        as a function of the drop probability p (expected 1/(1-p)^2
+//        scaling of the exchange term).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "primitives/bbst.h"
+#include "primitives/path.h"
+#include "primitives/skiplinks.h"
+#include "primitives/sort.h"
+#include "realization/explicit_degree.h"
+#include "realization/implicit_degree.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+void A1_CapacityFactor(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const auto factor = static_cast<int>(state.range(0));
+  // High degree so the capacity-bound explicitization term is visible.
+  const auto d = graph::regular_sequence(n, 160);
+  double rounds = 0;
+  double explicit_rounds = 0;
+  for (auto _ : state) {
+    ncc::Config cfg;
+    cfg.seed = 100;
+    cfg.capacity_factor = factor;
+    ncc::Network net(n, cfg);
+    const auto result = realize::realize_degrees_explicit(net, d);
+    if (!result.realizable) state.SkipWithError("not graphic");
+    rounds += static_cast<double>(net.stats().rounds);
+    explicit_rounds += static_cast<double>(result.explicit_rounds);
+  }
+  state.counters["rounds"] = benchmark::Counter(
+      rounds, benchmark::Counter::kAvgIterations);
+  state.counters["explicit_rounds"] = benchmark::Counter(
+      explicit_rounds, benchmark::Counter::kAvgIterations);
+  state.counters["capacity"] = static_cast<double>(
+      std::max(8, factor * ceil_log2(n)));
+}
+BENCHMARK(A1_CapacityFactor)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(2);
+
+void A2_SortNetwork(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool use_batcher = state.range(1) != 0;
+  double rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 101);
+    prim::PathOverlay path = prim::undirect_initial_path(net);
+    prim::build_bbst(net, path);
+    const prim::SkipOverlay skip = prim::build_skiplinks(net, path);
+    Rng rng(5);
+    std::vector<std::uint64_t> key(n);
+    for (auto& k : key) k = rng.below(n);
+    const std::uint64_t before = net.stats().rounds;
+    const auto sorted =
+        use_batcher
+            ? prim::distributed_sort(net, path, skip, key, true)
+            : prim::transposition_sort(net, path, key, true);
+    benchmark::DoNotOptimize(sorted.path.order.data());
+    rounds += static_cast<double>(net.stats().rounds - before);
+  }
+  state.counters["rounds"] = benchmark::Counter(
+      rounds, benchmark::Counter::kAvgIterations);
+  state.SetLabel(use_batcher ? "batcher" : "transposition");
+}
+BENCHMARK(A2_SortNetwork)
+    ->ArgsProduct({{256, 1024, 4096}, {0, 1}})
+    ->Iterations(2);
+
+void A3_LossRate(benchmark::State& state) {
+  const std::size_t n = 512;
+  const double p = static_cast<double>(state.range(0)) / 100.0;
+  const auto d = graph::regular_sequence(n, 16);
+  double conv_rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 102);
+    const auto implicit_result = realize::realize_degrees_implicit(net, d);
+    if (!implicit_result.realizable) state.SkipWithError("not graphic");
+    net.set_drop_probability(p);
+    const auto result =
+        realize::make_explicit_reliable(net, implicit_result);
+    conv_rounds += static_cast<double>(result.explicit_rounds);
+  }
+  state.counters["explicit_rounds"] = benchmark::Counter(
+      conv_rounds, benchmark::Counter::kAvgIterations);
+  state.counters["drop_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(A3_LossRate)->Arg(0)->Arg(10)->Arg(25)->Arg(50)->Arg(75)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Shared helpers for the benchmark harness.
+//
+// Every benchmark reports simulator *round counts* as custom counters next
+// to the wall-clock time: "rounds" (measured), "bound" (the paper's
+// closed-form bound for the instance) and "ratio" = rounds / bound. The
+// paper's claims are asymptotic, so the experiment series' shape (flat or
+// slowly-growing ratio across the sweep) is the reproduction target; see
+// EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "ncc/config.h"
+#include "ncc/network.h"
+#include "util/math_util.h"
+
+namespace dgr::bench {
+
+inline ncc::Network make_net(std::size_t n, std::uint64_t seed,
+                             bool clique = false) {
+  ncc::Config cfg;
+  cfg.seed = seed;
+  if (clique) cfg.initial = ncc::InitialKnowledge::kClique;
+  return ncc::Network(n, cfg);
+}
+
+/// Per-round message budget a Network of this size gets (default Config).
+inline double capacity_of(std::size_t n) {
+  const ncc::Config cfg;
+  const int lg = dgr::ceil_log2(n < 2 ? 2 : n);
+  const int cap = cfg.capacity_factor * lg;
+  return static_cast<double>(cap < cfg.min_capacity ? cfg.min_capacity : cap);
+}
+
+inline void report_rounds(benchmark::State& state, double rounds,
+                          double bound) {
+  state.counters["rounds"] =
+      benchmark::Counter(rounds, benchmark::Counter::kAvgIterations);
+  state.counters["bound"] =
+      benchmark::Counter(bound, benchmark::Counter::kAvgIterations);
+  if (bound > 0) {
+    state.counters["ratio"] = benchmark::Counter(
+        rounds / bound, benchmark::Counter::kAvgIterations);
+  }
+}
+
+}  // namespace dgr::bench

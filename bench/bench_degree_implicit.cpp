@@ -1,0 +1,98 @@
+// Experiment E5 (headline): Theorem 11 + Lemma 10 — implicit degree
+// realization in O~(min{√m, Δ}) rounds.
+//
+// Three regimes:
+//   * Δ-regime: d-regular sequences (Δ = d constant, m grows) — rounds
+//     should track Δ · polylog, independent of n.
+//   * √m-regime: star-heavy D*(n, m) sequences (§7 family) — rounds should
+//     track √m · polylog.
+//   * mixed: power-law and G(n,p) — rounds should track min{√m, Δ}.
+// Counters: phases vs. the Lemma 10 phase bound and rounds vs.
+// min{√m, Δ} · log²n.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "graph/degree_sequence.h"
+#include "graph/generators.h"
+#include "realization/implicit_degree.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+void run_case(benchmark::State& state, const graph::DegreeSequence& d,
+              std::uint64_t seed) {
+  const std::size_t n = d.size();
+  const std::uint64_t max_d = *std::max_element(d.begin(), d.end());
+  const std::uint64_t m = graph::degree_sum(d) / 2;
+  double rounds = 0;
+  double phases = 0;
+  double messages = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, seed);
+    const auto result = realize::realize_degrees_implicit(net, d);
+    if (!result.realizable) state.SkipWithError("instance not graphic");
+    rounds += static_cast<double>(result.rounds);
+    phases += static_cast<double>(result.phases);
+    messages += static_cast<double>(net.stats().messages_sent);
+  }
+  const double lg = ceil_log2(n);
+  const double min_term = static_cast<double>(
+      std::min<std::uint64_t>(isqrt(m) + 1, max_d + 1));
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) * min_term *
+                           lg * lg);
+  state.counters["phases"] = benchmark::Counter(
+      phases, benchmark::Counter::kAvgIterations);
+  state.counters["messages"] = benchmark::Counter(
+      messages, benchmark::Counter::kAvgIterations);
+  state.counters["phase_bound"] = min_term * 2;
+  state.counters["delta"] = static_cast<double>(max_d);
+  state.counters["sqrt_m"] = static_cast<double>(isqrt(m));
+}
+
+void E5_RegularDeltaRegime(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto deg = static_cast<std::uint64_t>(state.range(1));
+  run_case(state, graph::regular_sequence(n, deg), 50 + n);
+}
+BENCHMARK(E5_RegularDeltaRegime)
+    ->ArgsProduct({{512, 2048, 4096}, {4, 16, 64}})->Iterations(2);
+
+void E5_StarHeavySqrtMRegime(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::uint64_t>(state.range(1));
+  run_case(state, graph::star_heavy_sequence(n, m), 51 + n);
+}
+BENCHMARK(E5_StarHeavySqrtMRegime)
+    ->ArgsProduct({{2048, 4096}, {256, 1024, 4096, 8192}})->Iterations(2);
+
+void E5_PowerLaw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(52);
+  run_case(state, graph::powerlaw_sequence(n, isqrt(n) * 2, 2.2, rng),
+           52 + n);
+}
+BENCHMARK(E5_PowerLaw)->RangeMultiplier(4)->Range(512, 4096)->Iterations(2);
+
+void E5_Gnp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(53);
+  run_case(state, graph::gnp_sequence(n, 8.0 / static_cast<double>(n), rng),
+           53 + n);
+}
+BENCHMARK(E5_Gnp)->RangeMultiplier(4)->Range(512, 4096)->Iterations(2);
+
+void E5_Bimodal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_case(state, graph::bimodal_sequence(n, 2, 32), 54 + n);
+}
+BENCHMARK(E5_Bimodal)->RangeMultiplier(4)->Range(512, 4096)->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

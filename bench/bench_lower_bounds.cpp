@@ -1,0 +1,100 @@
+// Experiment E12: §7 lower bounds (Theorems 19, 20) — tightness up to logs.
+//
+// For each instance family we run the matching upper-bound algorithm and
+// report three numbers:
+//   rounds       — measured round count of our algorithm,
+//   certificate  — the information lower bound the finished run itself
+//                  certifies (max IDs learned / per-round intake),
+//   theory       — the closed-form Ω(·) bound for the family.
+// Tightness (Thm 19/20) shows as rounds/theory staying polylog.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "graph/degree_sequence.h"
+#include "graph/generators.h"
+#include "realization/explicit_degree.h"
+#include "realization/implicit_degree.h"
+#include "realization/lower_bounds.h"
+#include "util/math_util.h"
+
+namespace dgr {
+namespace {
+
+void E12_SqrtM_StarHeavyImplicit(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const auto m = static_cast<std::uint64_t>(state.range(0));
+  const auto d = graph::star_heavy_sequence(n, m);
+  double rounds = 0;
+  double certificate = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 95);
+    const auto result = realize::realize_degrees_implicit(net, d);
+    if (!result.realizable) state.SkipWithError("not graphic");
+    rounds += static_cast<double>(result.rounds);
+    certificate = static_cast<double>(
+        realize::knowledge_round_lower_bound(net));
+  }
+  const double theory = static_cast<double>(realize::sqrt_m_info_bound(
+      m, static_cast<int>(bench::capacity_of(n))));
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) *
+                           std::max(theory, 1.0));
+  state.counters["certificate"] = certificate;
+  state.counters["theory_sqrt_m"] = theory;
+}
+BENCHMARK(E12_SqrtM_StarHeavyImplicit)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)->Iterations(2);
+
+void E12_Delta_RegularImplicit(benchmark::State& state) {
+  // Theorem 20's second family: Δ-regular sequences need Ω(Δ) rounds.
+  const std::size_t n = 2048;
+  const auto deg = static_cast<std::uint64_t>(state.range(0));
+  const auto d = graph::regular_sequence(n, deg);
+  double rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 96);
+    const auto result = realize::realize_degrees_implicit(net, d);
+    if (!result.realizable) state.SkipWithError("not graphic");
+    rounds += static_cast<double>(result.rounds);
+  }
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) *
+                           static_cast<double>(deg));
+  state.counters["theory_delta"] = static_cast<double>(deg);
+}
+BENCHMARK(E12_Delta_RegularImplicit)->RangeMultiplier(2)->Range(8, 128)->Iterations(2);
+
+void E12_Delta_Explicit(benchmark::State& state) {
+  // Theorem 19: explicit realization needs Ω(Δ / log n) for every instance.
+  const std::size_t n = 2048;
+  const auto deg = static_cast<std::uint64_t>(state.range(0));
+  const auto d = graph::regular_sequence(n, deg);
+  double rounds = 0;
+  double max_known = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 97);
+    const auto result = realize::realize_degrees_explicit(net, d);
+    if (!result.realizable) state.SkipWithError("not graphic");
+    rounds += static_cast<double>(result.implicit_rounds +
+                                  result.explicit_rounds);
+    for (ncc::Slot s = 0; s < net.n(); ++s)
+      max_known = std::max(max_known,
+                           static_cast<double>(net.knowledge_size(s)));
+  }
+  const double theory = static_cast<double>(realize::explicit_info_bound(
+      deg, static_cast<int>(bench::capacity_of(n))));
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) *
+                           std::max(theory, 1.0));
+  state.counters["theory_delta_over_log"] = theory;
+  state.counters["max_ids_known"] = max_known;
+}
+BENCHMARK(E12_Delta_Explicit)->RangeMultiplier(2)->Range(8, 128)->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

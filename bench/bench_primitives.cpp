@@ -1,0 +1,110 @@
+// Experiments E1–E3: the §3 primitives.
+//   E1 (Thm 1 / Cor 2): BBST construction + positions in O(log n) rounds.
+//   E2 (Thm 3): distributed sorting in polylog rounds (ours: O(log^2 n)).
+//   E3 (Thms 4, 5): broadcast/aggregation O(log n); collection O(k+log n).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "primitives/bbst.h"
+#include "primitives/broadcast.h"
+#include "primitives/collection.h"
+#include "primitives/path.h"
+#include "primitives/skiplinks.h"
+#include "primitives/sort.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+void E1_BbstConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double rounds = 0;
+  int height = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 42);
+    prim::PathOverlay path = prim::undirect_initial_path(net);
+    const std::uint64_t before = net.stats().rounds;
+    const prim::TreeOverlay tree = prim::build_bbst(net, path);
+    rounds += static_cast<double>(net.stats().rounds - before);
+    height = tree.height;
+  }
+  bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
+                                          ceil_log2(n));
+  state.counters["height"] = static_cast<double>(height);
+  state.counters["height_bound"] = static_cast<double>(ceil_log2(n) + 1);
+}
+BENCHMARK(E1_BbstConstruction)->RangeMultiplier(4)->Range(256, 65536)->Iterations(2);
+
+void E2_DistributedSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 43);
+    prim::PathOverlay path = prim::undirect_initial_path(net);
+    prim::build_bbst(net, path);
+    const prim::SkipOverlay skip = prim::build_skiplinks(net, path);
+    Rng rng(7);
+    std::vector<std::uint64_t> key(n);
+    for (auto& k : key) k = rng.below(n);
+    const std::uint64_t before = net.stats().rounds;
+    const auto sorted = prim::distributed_sort(net, path, skip, key, true);
+    benchmark::DoNotOptimize(sorted.path.order.data());
+    rounds += static_cast<double>(net.stats().rounds - before);
+  }
+  const double lg = ceil_log2(n);
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) * lg * lg);
+}
+BENCHMARK(E2_DistributedSort)->RangeMultiplier(4)->Range(256, 16384)->Iterations(2);
+
+void E3_AggregateAndBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 44);
+    prim::PathOverlay path = prim::undirect_initial_path(net);
+    const prim::TreeOverlay tree = prim::build_bbst(net, path);
+    std::vector<std::uint64_t> v(n, 1);
+    const std::uint64_t before = net.stats().rounds;
+    const std::uint64_t total =
+        prim::aggregate_and_broadcast(net, tree, v, prim::comb_sum);
+    benchmark::DoNotOptimize(total);
+    rounds += static_cast<double>(net.stats().rounds - before);
+  }
+  bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
+                                          ceil_log2(n));
+}
+BENCHMARK(E3_AggregateAndBroadcast)->RangeMultiplier(4)->Range(256, 65536)->Iterations(2);
+
+void E3_GlobalCollection(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  double rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 45);
+    prim::PathOverlay path = prim::undirect_initial_path(net);
+    const prim::TreeOverlay tree = prim::build_bbst(net, path);
+    std::vector<std::uint8_t> has(n, 0);
+    std::vector<std::uint64_t> token(n, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      has[i] = 1;
+      token[i] = i;
+    }
+    const ncc::Slot leader = path.order.back();
+    const std::uint64_t before = net.stats().rounds;
+    auto collected = prim::global_collect(net, tree, leader, has, token);
+    benchmark::DoNotOptimize(collected.data());
+    rounds += static_cast<double>(net.stats().rounds - before);
+  }
+  // Theorem 5 budget: O(k + log n); ours drains at capacity/round.
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) *
+                           (static_cast<double>(k) + ceil_log2(n)));
+}
+BENCHMARK(E3_GlobalCollection)->RangeMultiplier(4)->Range(16, 4096)->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

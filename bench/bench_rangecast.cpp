@@ -1,0 +1,88 @@
+// Experiment E4: range multicast (our Theorem 6/7 substrate).
+// Sweeps group count × group width for the two shapes the paper's
+// algorithms generate: disjoint consecutive groups (Algorithm 3) and
+// heavily-overlapping predecessor windows (Algorithm 6 phase 2).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_common.h"
+#include "primitives/bbst.h"
+#include "primitives/path.h"
+#include "primitives/range_cast.h"
+#include "primitives/skiplinks.h"
+#include "util/math_util.h"
+
+namespace dgr {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : net(bench::make_net(n, seed)),
+        path(prim::undirect_initial_path(net)),
+        tree(prim::build_bbst(net, path)),
+        skip(prim::build_skiplinks(net, path)) {}
+  ncc::Network net;
+  prim::PathOverlay path;
+  prim::TreeOverlay tree;
+  prim::SkipOverlay skip;
+};
+
+void E4_DisjointGroups(benchmark::State& state) {
+  const std::size_t n = 8192;
+  const auto width = static_cast<std::size_t>(state.range(0));
+  double rounds = 0;
+  std::atomic<std::size_t> delivered{0};
+  for (auto _ : state) {
+    Fixture f(n, 46);
+    std::vector<std::vector<prim::RangeCastTask>> tasks(n);
+    for (std::size_t g = 0; g + width <= n; g += width) {
+      const ncc::Slot src = f.path.order[g];
+      tasks[src].push_back({static_cast<prim::Position>(g + 1),
+                            static_cast<prim::Position>(g + width - 1), 1,
+                            f.net.id_of(src), true});
+    }
+    const std::uint64_t before = f.net.stats().rounds;
+    prim::range_multicast(f.net, f.path, f.skip, tasks,
+                          [&](prim::Slot, std::uint32_t, std::uint64_t) {
+                            delivered.fetch_add(1);
+                          });
+    rounds += static_cast<double>(f.net.stats().rounds - before);
+  }
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) *
+                           (ceil_log2(width) + 2));
+  state.counters["delivered"] = static_cast<double>(delivered.load());
+}
+BENCHMARK(E4_DisjointGroups)->RangeMultiplier(4)->Range(4, 4096)->Iterations(2);
+
+void E4_OverlappingWindows(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const auto rho = static_cast<std::size_t>(state.range(0));
+  double rounds = 0;
+  for (auto _ : state) {
+    Fixture f(n, 47);
+    std::vector<std::vector<prim::RangeCastTask>> tasks(n);
+    for (std::size_t i = n / 2; i < n; ++i) {
+      const ncc::Slot src = f.path.order[i];
+      tasks[src].push_back({static_cast<prim::Position>(i - rho),
+                            static_cast<prim::Position>(i - 1), 2,
+                            f.net.id_of(src), true});
+    }
+    const std::uint64_t before = f.net.stats().rounds;
+    prim::range_multicast(f.net, f.path, f.skip, tasks,
+                          [](prim::Slot, std::uint32_t, std::uint64_t) {});
+    rounds += static_cast<double>(f.net.stats().rounds - before);
+  }
+  // Window ρ ⇒ per-node load Θ(ρ) ⇒ Θ(ρ / log n) rounds + polylog.
+  const double cap = bench::capacity_of(n);
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) *
+                           (static_cast<double>(rho) / cap + ceil_log2(n)));
+}
+BENCHMARK(E4_OverlappingWindows)->RangeMultiplier(2)->Range(8, 512)->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

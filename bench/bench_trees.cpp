@@ -1,0 +1,78 @@
+// Experiments E8, E9: §5 tree realizations.
+//   E8 (Thm 14): caterpillar realization in polylog rounds.
+//   E9 (Thm 16 / Lemma 15): greedy tree attains the minimum diameter —
+//   we report both algorithms' diameters and the sequential optimum.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/tree_metrics.h"
+#include "realization/tree_realization.h"
+#include "realization/validate.h"
+#include "seq/greedy_tree.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+void E8_CaterpillarRounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(80);
+  const auto d = graph::random_tree_sequence(n, rng);
+  double rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 81);
+    const auto result = realize::realize_tree_caterpillar(net, d);
+    if (!result.realizable) state.SkipWithError("not tree-realizable");
+    rounds += static_cast<double>(result.rounds);
+  }
+  const double lg = ceil_log2(n);
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) * lg * lg * lg);
+}
+BENCHMARK(E8_CaterpillarRounds)->RangeMultiplier(4)->Range(256, 8192)->Iterations(2);
+
+void E8_GreedyRounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(82);
+  const auto d = graph::random_tree_sequence(n, rng);
+  double rounds = 0;
+  for (auto _ : state) {
+    auto net = bench::make_net(n, 83);
+    const auto result = realize::realize_tree_greedy(net, d);
+    if (!result.realizable) state.SkipWithError("not tree-realizable");
+    rounds += static_cast<double>(result.rounds);
+  }
+  const double lg = ceil_log2(n);
+  bench::report_rounds(state, rounds,
+                       static_cast<double>(state.iterations()) * lg * lg * lg);
+}
+BENCHMARK(E8_GreedyRounds)->RangeMultiplier(4)->Range(256, 8192)->Iterations(2);
+
+void E9_DiameterOptimality(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(84 + n);
+  const auto d = graph::random_tree_sequence(n, rng);
+  double diam_cat = 0, diam_greedy = 0;
+  for (auto _ : state) {
+    auto net1 = bench::make_net(n, 85);
+    const auto cat = realize::realize_tree_caterpillar(net1, d);
+    auto net2 = bench::make_net(n, 86);
+    const auto greedy = realize::realize_tree_greedy(net2, d);
+    diam_cat = static_cast<double>(graph::tree_diameter(
+        realize::graph_from_stored(net1, cat.stored)));
+    diam_greedy = static_cast<double>(graph::tree_diameter(
+        realize::graph_from_stored(net2, greedy.stored)));
+  }
+  const auto opt = seq::min_tree_diameter(d);
+  state.counters["diam_caterpillar"] = diam_cat;
+  state.counters["diam_greedy"] = diam_greedy;
+  state.counters["diam_optimal"] = static_cast<double>(opt.value());
+}
+BENCHMARK(E9_DiameterOptimality)->RangeMultiplier(4)->Range(64, 4096)->Iterations(2);
+
+}  // namespace
+}  // namespace dgr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Quickstart: realize a degree sequence as a P2P overlay in the NCC model.
+//
+//   $ ./quickstart [n] [degree]
+//
+// Builds an NCC0 network of n nodes (each initially knowing only one other
+// ID), runs the distributed Havel–Hakimi algorithm (paper Algorithm 3) to
+// realize a d-regular overlay, makes it explicit (Theorem 12), verifies the
+// result, and prints the round/message statistics.
+#include <cstdlib>
+#include <iostream>
+
+#include "graph/generators.h"
+#include "ncc/network.h"
+#include "realization/explicit_degree.h"
+#include "realization/validate.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+  const std::uint64_t degree =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+  std::cout << "Realizing a " << degree << "-regular overlay on " << n
+            << " nodes (NCC0, initial knowledge = a directed path)\n\n";
+
+  dgr::ncc::Config cfg;
+  cfg.seed = 7;
+  dgr::ncc::Network net(n, cfg);
+
+  const auto d = dgr::graph::regular_sequence(n, degree);
+  const auto result = dgr::realize::realize_degrees_explicit(net, d);
+  if (!result.realizable) {
+    std::cout << "UNREALIZABLE: no simple graph has this degree sequence\n";
+    return 1;
+  }
+
+  // Referee verification.
+  const auto g = dgr::realize::graph_from_stored(net, result.adjacency);
+  bool degrees_ok = true;
+  for (dgr::ncc::Slot s = 0; s < net.n(); ++s)
+    degrees_ok &= result.adjacency[s].size() == d[s];
+
+  dgr::Table t("overlay construction summary");
+  t.header({"metric", "value"});
+  t.row({"nodes", dgr::Table::num(std::uint64_t{n})});
+  t.row({"requested degree", dgr::Table::num(degree)});
+  t.row({"edges realized", dgr::Table::num(std::uint64_t{g.m()})});
+  t.row({"degrees exact", degrees_ok ? "yes" : "NO"});
+  t.row({"Havel-Hakimi phases", dgr::Table::num(result.phases)});
+  t.row({"implicit rounds", dgr::Table::num(result.implicit_rounds)});
+  t.row({"explicitization rounds", dgr::Table::num(result.explicit_rounds)});
+  t.row({"total rounds", dgr::Table::num(net.stats().rounds)});
+  t.row({"messages sent", dgr::Table::num(net.stats().messages_sent)});
+  t.row({"per-round capacity", dgr::Table::num(
+                                   std::uint64_t(net.capacity()))});
+  t.print(std::cout);
+
+  std::cout << "\nFirst node's neighbour list (explicit overlay): ";
+  for (const auto id : result.adjacency[0]) std::cout << id << ' ';
+  std::cout << "\n";
+  return degrees_ok ? 0 : 1;
+}

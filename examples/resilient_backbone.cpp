@@ -1,0 +1,73 @@
+// Resilient backbone: tiered edge-connectivity thresholds (paper §6).
+//
+//   $ ./resilient_backbone [n]
+//
+// A three-tier network — core routers that must survive many link
+// failures, relays with moderate requirements, and edge devices that just
+// need to stay attached. Each node v demands edge connectivity
+// Conn(u, v) >= min(rho(u), rho(v)). We run the paper's Algorithm 6 in
+// NCC0, verify every sampled pair with max-flow (Menger), and print the
+// 2-approximation certificate.
+#include <cstdlib>
+#include <iostream>
+
+#include "graph/generators.h"
+#include "ncc/network.h"
+#include "realization/connectivity.h"
+#include "realization/validate.h"
+#include "seq/connectivity_baseline.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 96;
+  const std::size_t n_core = std::max<std::size_t>(2, n / 16);
+  const std::size_t n_relay = n / 4;
+  const std::uint64_t rho_core = std::min<std::uint64_t>(n - 1, 12);
+  const std::uint64_t rho_relay = 5;
+  const std::uint64_t rho_edge = 2;
+
+  const auto rho = dgr::graph::tiered_thresholds(
+      n, n_core, rho_core, n_relay, rho_relay, rho_edge);
+
+  std::cout << "Backbone: " << n_core << " core (rho=" << rho_core << "), "
+            << n_relay << " relay (rho=" << rho_relay << "), "
+            << n - n_core - n_relay << " edge (rho=" << rho_edge << ")\n\n";
+
+  dgr::ncc::Config cfg;
+  cfg.seed = 5;
+  dgr::ncc::Network net(n, cfg);
+  const auto result = dgr::realize::realize_connectivity_ncc0(net, rho);
+  if (!result.realizable) {
+    std::cout << "thresholds infeasible (rho > n-1 somewhere)\n";
+    return 1;
+  }
+
+  const auto g = dgr::realize::graph_from_stored(net, result.stored);
+  const std::uint64_t opt_lb =
+      dgr::seq::connectivity_edge_lower_bound(rho);
+
+  dgr::Rng vrng(99);
+  const auto violation = dgr::seq::find_threshold_violation(g, rho, vrng);
+
+  dgr::Table t("resilient backbone (Algorithm 6, NCC0, explicit)");
+  t.header({"metric", "value"});
+  t.row({"nodes", dgr::Table::num(std::uint64_t{n})});
+  t.row({"edges built", dgr::Table::num(std::uint64_t{g.m()})});
+  t.row({"edge lower bound ceil(sum rho/2)", dgr::Table::num(opt_lb)});
+  t.row({"approximation ratio (bound 2)",
+         dgr::Table::num(static_cast<double>(g.m()) /
+                             static_cast<double>(opt_lb),
+                         3)});
+  t.row({"all sampled pairs meet thresholds",
+         violation ? "NO — VIOLATION" : "yes (max-flow verified)"});
+  t.row({"rounds", dgr::Table::num(result.rounds)});
+  t.print(std::cout);
+
+  if (violation) {
+    std::cout << "violated pair: " << violation->first << ", "
+              << violation->second << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Degree-sequence theory: handshake lemma, the Erdős–Gallai
+// characterization (paper §1), and tree realizability (paper §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dgr::graph {
+
+using DegreeSequence = std::vector<std::uint64_t>;
+
+/// Sum of all degrees.
+std::uint64_t degree_sum(const DegreeSequence& d);
+
+/// Handshake lemma necessary condition: even degree sum and every
+/// d_i <= n - 1.
+bool handshake_ok(const DegreeSequence& d);
+
+/// Erdős–Gallai (1960): non-increasing D is graphic iff for all k,
+/// sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k). Input may be unsorted;
+/// runs in O(n log n).
+bool erdos_gallai_graphic(DegreeSequence d);
+
+/// Tree realizability (Harary): n >= 2, every d_i >= 1 and
+/// sum d_i = 2(n-1); the n = 1 case requires d = (0).
+bool tree_realizable(const DegreeSequence& d);
+
+/// Multiset equality of two degree sequences.
+bool same_multiset(DegreeSequence a, DegreeSequence b);
+
+}  // namespace dgr::graph

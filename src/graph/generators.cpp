@@ -1,0 +1,180 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dgr::graph {
+
+DegreeSequence regular_sequence(std::size_t n, std::uint64_t d) {
+  DGR_CHECK_MSG(n == 0 || d + 1 <= n, "regular degree must be <= n-1");
+  DegreeSequence seq(n, d);
+  if (n > 0 && (n * d) % 2 != 0 && d > 0) seq.back() = d - 1;
+  return seq;
+}
+
+DegreeSequence gnp_sequence(std::size_t n, double p, Rng& rng) {
+  // Sample only the degrees, not the full edge set: deg(v) pairs are not
+  // independent, so we materialize edges sparsely via geometric skipping.
+  DegreeSequence d(n, 0);
+  if (p <= 0.0 || n < 2) return d;
+  p = std::min(p, 1.0);
+  const double log1mp = std::log1p(-std::min(p, 0.999999999999));
+  // Iterate over the upper-triangle edge slots with geometric jumps.
+  const std::uint64_t slots =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t pos = 0;
+  while (pos < slots) {
+    std::uint64_t skip = 0;
+    if (p < 1.0) {
+      const double r = std::max(rng.uniform(), 1e-300);
+      skip = static_cast<std::uint64_t>(std::floor(std::log(r) / log1mp));
+    }
+    pos += skip;
+    if (pos >= slots) break;
+    // Decode slot index -> (u, v), u < v.
+    // Row u occupies slots [u*n - u*(u+1)/2, ...) of length n-1-u.
+    std::uint64_t u = 0;
+    std::uint64_t acc = 0;
+    // Binary search on row.
+    std::uint64_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = (lo + hi) / 2;
+      const std::uint64_t before = mid * n - mid * (mid + 1) / 2;
+      if (before <= pos)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    u = lo - 1;
+    acc = u * n - u * (u + 1) / 2;
+    const std::uint64_t v = u + 1 + (pos - acc);
+    ++d[u];
+    ++d[v];
+    ++pos;
+  }
+  return d;
+}
+
+DegreeSequence make_graphic(DegreeSequence d) {
+  const std::size_t n = d.size();
+  if (n == 0) return d;
+  const std::uint64_t cap = n - 1;
+  for (auto& di : d) di = std::min(di, cap);
+
+  auto fix_parity = [&] {
+    if (degree_sum(d) % 2 == 0) return;
+    // Decrement some positive entry (largest, to also help Erdős–Gallai).
+    auto it = std::max_element(d.begin(), d.end());
+    DGR_CHECK_MSG(*it > 0, "cannot fix parity of all-zero sequence");
+    --*it;
+  };
+  fix_parity();
+
+  while (!erdos_gallai_graphic(d)) {
+    // Shave the two largest positive entries by one each (keeps parity).
+    auto first = std::max_element(d.begin(), d.end());
+    DGR_CHECK(*first > 0);
+    --*first;
+    auto second = std::max_element(d.begin(), d.end());
+    if (*second > 0) {
+      --*second;
+    } else {
+      fix_parity();
+    }
+  }
+  return d;
+}
+
+DegreeSequence powerlaw_sequence(std::size_t n, std::uint64_t dmax,
+                                 double alpha, Rng& rng) {
+  DGR_CHECK(n >= 2 && dmax >= 1);
+  dmax = std::min<std::uint64_t>(dmax, n - 1);
+  // Inverse-CDF sampling of a truncated Pareto: d = floor(dmax * u^{-1/ (alpha-1)})
+  // style tail; clamp into [1, dmax].
+  DegreeSequence d(n);
+  for (auto& di : d) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double val = std::pow(u, -1.0 / std::max(alpha - 1.0, 0.1));
+    di = std::min<std::uint64_t>(
+        dmax, std::max<std::uint64_t>(1, static_cast<std::uint64_t>(val)));
+  }
+  return make_graphic(std::move(d));
+}
+
+DegreeSequence bimodal_sequence(std::size_t n, std::uint64_t d_low,
+                                std::uint64_t d_high) {
+  DegreeSequence d(n, d_low);
+  for (std::size_t i = 0; i < n / 2; ++i) d[i] = d_high;
+  return make_graphic(std::move(d));
+}
+
+DegreeSequence star_heavy_sequence(std::size_t n, std::uint64_t m) {
+  DGR_CHECK(n >= 2);
+  // Smallest k with k(k-1)/2 >= m, capped at n.
+  std::uint64_t k = 2;
+  while (k * (k - 1) / 2 < m && k < n) ++k;
+  const std::uint64_t usable = std::min<std::uint64_t>(m, k * (k - 1) / 2);
+  // Spread 2*usable degree units over the first k nodes as evenly as
+  // possible; parity holds since the total is even.
+  DegreeSequence d(n, 0);
+  const std::uint64_t total = 2 * usable;
+  const std::uint64_t base = total / k;
+  std::uint64_t extra = total % k;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    d[i] = base + (i < extra ? 1 : 0);
+    d[i] = std::min<std::uint64_t>(d[i], k - 1);
+  }
+  // The even spread over a k-clique capacity is graphic; repair guards the
+  // clamped corner cases.
+  return make_graphic(std::move(d));
+}
+
+DegreeSequence random_tree_sequence(std::size_t n, Rng& rng) {
+  DGR_CHECK(n >= 2);
+  DegreeSequence d(n, 1);
+  for (std::size_t b = 0; b + 2 < n; ++b) ++d[rng.below(n)];
+  DGR_CHECK(tree_realizable(d));
+  return d;
+}
+
+ThresholdVector uniform_thresholds(std::size_t n, std::uint64_t rmax,
+                                   Rng& rng) {
+  DGR_CHECK(n >= 2 && rmax >= 1 && rmax <= n - 1);
+  ThresholdVector rho(n);
+  for (auto& r : rho) r = 1 + rng.below(rmax);
+  return rho;
+}
+
+ThresholdVector tiered_thresholds(std::size_t n, std::size_t n_core,
+                                  std::uint64_t rho_core,
+                                  std::size_t n_relay,
+                                  std::uint64_t rho_relay,
+                                  std::uint64_t rho_edge) {
+  DGR_CHECK(n_core + n_relay <= n);
+  DGR_CHECK(rho_core >= rho_relay && rho_relay >= rho_edge && rho_edge >= 1);
+  DGR_CHECK(rho_core <= n - 1);
+  ThresholdVector rho(n, rho_edge);
+  for (std::size_t i = 0; i < n_core; ++i) rho[i] = rho_core;
+  for (std::size_t i = n_core; i < n_core + n_relay; ++i) rho[i] = rho_relay;
+  return rho;
+}
+
+ThresholdVector zipf_thresholds(std::size_t n, std::uint64_t rmax,
+                                double alpha, Rng& rng) {
+  DGR_CHECK(n >= 2 && rmax >= 1 && rmax <= n - 1);
+  ThresholdVector rho(n);
+  for (auto& r : rho) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double val = std::pow(u, -1.0 / std::max(alpha - 1.0, 0.1));
+    r = std::min<std::uint64_t>(rmax,
+                                std::max<std::uint64_t>(
+                                    1, static_cast<std::uint64_t>(val)));
+  }
+  return rho;
+}
+
+}  // namespace dgr::graph

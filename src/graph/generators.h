@@ -1,0 +1,69 @@
+// Input-instance generators for tests, benches and examples.
+//
+// Every degree-sequence generator returns a *graphic* sequence (verified by
+// construction or by Erdős–Gallai repair), so experiments separate "is it
+// realizable" from "how fast do we realize it". The star-heavy family
+// implements the §7 lower-bound instances D*(n, m); the paper's literal
+// k = floor(sqrt(m)) makes the family empty (a k-clique has < m edges), so we
+// use the smallest k with k(k-1)/2 >= m — the Θ(√m) regime is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/degree_sequence.h"
+#include "util/rng.h"
+
+namespace dgr::graph {
+
+/// (d, d, ..., d); requires d <= n-1; if n*d is odd the last entry is d-1
+/// (keeps the sequence graphic).
+DegreeSequence regular_sequence(std::size_t n, std::uint64_t d);
+
+/// Degree sequence of an Erdős–Rényi G(n, p) sample — graphic by
+/// construction, concentrated around p(n-1).
+DegreeSequence gnp_sequence(std::size_t n, double p, Rng& rng);
+
+/// Zipf-ish power-law degrees in [1, dmax] with exponent alpha, repaired to
+/// a graphic sequence (parity fix + Erdős–Gallai decrement loop).
+DegreeSequence powerlaw_sequence(std::size_t n, std::uint64_t dmax,
+                                 double alpha, Rng& rng);
+
+/// Half the nodes of degree d_low, half of degree d_high, repaired to
+/// graphic.
+DegreeSequence bimodal_sequence(std::size_t n, std::uint64_t d_low,
+                                std::uint64_t d_high);
+
+/// §7 lower-bound family D*(n, m): roughly m edges concentrated on
+/// k = Θ(√m) nodes, zero elsewhere. Graphic by construction.
+DegreeSequence star_heavy_sequence(std::size_t n, std::uint64_t m);
+
+/// Random tree-realizable sequence: d_i = 1 + x_i with sum x_i = n - 2
+/// (n - 2 balls into n bins). n >= 2.
+DegreeSequence random_tree_sequence(std::size_t n, Rng& rng);
+
+/// Repairs an arbitrary sequence into a graphic one: clamps to n-1, fixes
+/// parity, then decrements the largest entries until Erdős–Gallai holds.
+DegreeSequence make_graphic(DegreeSequence d);
+
+// ---- Connectivity-threshold (ρ) generators (paper §6) ----
+
+using ThresholdVector = std::vector<std::uint64_t>;
+
+/// Uniform ρ(v) in [1, rmax]; rmax <= n-1.
+ThresholdVector uniform_thresholds(std::size_t n, std::uint64_t rmax,
+                                   Rng& rng);
+
+/// Three-tier network: n_core nodes at rho_core, n_relay at rho_relay, the
+/// rest at rho_edge (core >= relay >= edge >= 1).
+ThresholdVector tiered_thresholds(std::size_t n, std::size_t n_core,
+                                  std::uint64_t rho_core,
+                                  std::size_t n_relay,
+                                  std::uint64_t rho_relay,
+                                  std::uint64_t rho_edge);
+
+/// Zipf-distributed thresholds in [1, rmax].
+ThresholdVector zipf_thresholds(std::size_t n, std::uint64_t rmax,
+                                double alpha, Rng& rng);
+
+}  // namespace dgr::graph

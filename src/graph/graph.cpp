@@ -1,0 +1,58 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace dgr::graph {
+
+bool Graph::add_edge(Vertex u, Vertex v) {
+  DGR_CHECK(u < n() && v < n());
+  if (u == v) return false;
+  if (!edge_set_.insert(key(u, v)).second) return false;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+  return true;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  return edge_set_.contains(key(u, v));
+}
+
+std::vector<std::uint64_t> Graph::degree_sequence() const {
+  std::vector<std::uint64_t> d(n());
+  for (std::size_t v = 0; v < n(); ++v) d[v] = adj_[v].size();
+  return d;
+}
+
+bool Graph::connected() const {
+  if (n() <= 1) return true;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::int64_t d) { return d < 0; });
+}
+
+bool Graph::is_tree() const { return connected() && m() + 1 == n(); }
+
+std::vector<std::int64_t> Graph::bfs_distances(Vertex src) const {
+  std::vector<std::int64_t> dist(n(), -1);
+  std::queue<Vertex> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    for (Vertex w : adj_[u]) {
+      if (dist[w] < 0) {
+        dist[w] = dist[u] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace dgr::graph

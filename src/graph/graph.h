@@ -1,0 +1,59 @@
+// Simple undirected graph used referee-side to verify realizations.
+//
+// Vertices are dense indices 0..n-1 (simulator slots). The structure keeps
+// an edge list plus adjacency; parallel edges and self-loops are rejected at
+// insertion unless explicitly allowed (realizations must be simple graphs).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace dgr::graph {
+
+using Vertex = std::uint32_t;
+
+class Graph {
+ public:
+  explicit Graph(std::size_t n = 0) : adj_(n) {}
+
+  std::size_t n() const { return adj_.size(); }
+  std::size_t m() const { return edges_.size(); }
+
+  /// Adds edge {u, v}; returns false (and does nothing) if it is a self-loop
+  /// or already present.
+  bool add_edge(Vertex u, Vertex v);
+
+  bool has_edge(Vertex u, Vertex v) const;
+
+  const std::vector<Vertex>& neighbors(Vertex v) const { return adj_[v]; }
+  const std::vector<std::pair<Vertex, Vertex>>& edges() const { return edges_; }
+
+  std::size_t degree(Vertex v) const { return adj_[v].size(); }
+
+  /// Degree of every vertex, in vertex order.
+  std::vector<std::uint64_t> degree_sequence() const;
+
+  /// True if the graph is connected (n = 0 or 1 counts as connected).
+  bool connected() const;
+
+  /// True if connected and m == n - 1.
+  bool is_tree() const;
+
+  /// BFS distances from src; unreachable = -1.
+  std::vector<std::int64_t> bfs_distances(Vertex src) const;
+
+ private:
+  static std::uint64_t key(Vertex u, Vertex v) {
+    const Vertex lo = u < v ? u : v;
+    const Vertex hi = u < v ? v : u;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  std::vector<std::vector<Vertex>> adj_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+  std::unordered_set<std::uint64_t> edge_set_;
+};
+
+}  // namespace dgr::graph

@@ -1,0 +1,78 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dgr::graph {
+
+EdgeConnectivity::EdgeConnectivity(const Graph& g) : n_(g.n()), arcs_(g.n()) {
+  for (const auto& [u, v] : g.edges()) {
+    // Undirected unit edge = antiparallel unit arcs.
+    const std::size_t iu = arcs_[u].size();
+    const std::size_t iv = arcs_[v].size();
+    arcs_[u].push_back({v, 1, iv});
+    arcs_[v].push_back({u, 1, iu});
+  }
+  level_.resize(n_);
+  iter_.resize(n_);
+}
+
+void EdgeConnectivity::reset_caps() {
+  for (auto& list : arcs_)
+    for (auto& a : list) a.cap = 1;
+}
+
+bool EdgeConnectivity::bfs(Vertex s, Vertex t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<Vertex> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (const auto& a : arcs_[v]) {
+      if (a.cap > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[v] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t EdgeConnectivity::dfs(Vertex v, Vertex t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < arcs_[v].size(); ++i) {
+    Arc& a = arcs_[v][i];
+    if (a.cap > 0 && level_[a.to] == level_[v] + 1) {
+      const std::int64_t got =
+          dfs(a.to, t, std::min<std::int64_t>(pushed, a.cap));
+      if (got > 0) {
+        a.cap -= static_cast<std::int32_t>(got);
+        arcs_[a.to][a.rev].cap += static_cast<std::int32_t>(got);
+        return got;
+      }
+    }
+  }
+  return 0;
+}
+
+std::uint64_t EdgeConnectivity::query(Vertex s, Vertex t) {
+  if (s == t) return 0;
+  reset_caps();
+  std::uint64_t flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), std::size_t{0});
+    while (std::int64_t pushed = dfs(s, t, 1 << 30)) {
+      flow += static_cast<std::uint64_t>(pushed);
+    }
+  }
+  return flow;
+}
+
+std::uint64_t edge_connectivity(const Graph& g, Vertex s, Vertex t) {
+  EdgeConnectivity solver(g);
+  return solver.query(s, t);
+}
+
+}  // namespace dgr::graph

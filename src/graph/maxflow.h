@@ -1,0 +1,41 @@
+// Dinic's max-flow on unit-capacity undirected graphs, used to verify
+// edge-connectivity thresholds (Menger: edge connectivity = max number of
+// edge-disjoint paths = s-t max flow with unit capacities).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgr::graph {
+
+/// Max-flow solver bound to one graph; reusable across (s, t) queries.
+class EdgeConnectivity {
+ public:
+  explicit EdgeConnectivity(const Graph& g);
+
+  /// Edge connectivity between s and t (number of edge-disjoint s-t paths).
+  std::uint64_t query(Vertex s, Vertex t);
+
+ private:
+  struct Arc {
+    Vertex to;
+    std::int32_t cap;
+    std::size_t rev;  // index of the reverse arc in arcs_[to]
+  };
+
+  bool bfs(Vertex s, Vertex t);
+  std::int64_t dfs(Vertex v, Vertex t, std::int64_t pushed);
+  void reset_caps();
+
+  std::size_t n_;
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::size_t> iter_;
+};
+
+/// Convenience one-shot query.
+std::uint64_t edge_connectivity(const Graph& g, Vertex s, Vertex t);
+
+}  // namespace dgr::graph

@@ -1,0 +1,87 @@
+#include "graph/prufer.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "graph/tree_metrics.h"
+#include "util/check.h"
+
+namespace dgr::graph {
+
+Graph prufer_decode(const std::vector<std::uint32_t>& seq) {
+  const std::size_t n = seq.size() + 2;
+  Graph g(n);
+  std::vector<std::uint32_t> remaining(n, 1);
+  for (const auto v : seq) {
+    DGR_CHECK(v < n);
+    ++remaining[v];
+  }
+  // Min-heap of current leaves.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      leaves;
+  for (std::uint32_t v = 0; v < n; ++v)
+    if (remaining[v] == 1) leaves.push(v);
+  for (const auto v : seq) {
+    const std::uint32_t leaf = leaves.top();
+    leaves.pop();
+    g.add_edge(leaf, v);
+    if (--remaining[v] == 1) leaves.push(v);
+  }
+  const std::uint32_t a = leaves.top();
+  leaves.pop();
+  const std::uint32_t b = leaves.top();
+  g.add_edge(a, b);
+  return g;
+}
+
+namespace {
+
+// Enumerate all distinct multiset permutations of `pool` (sorted), calling
+// visit on each; prunes by skipping equal elements at the same depth.
+void enumerate(std::vector<std::uint32_t>& pool,
+               std::vector<std::uint32_t>& current, std::size_t depth,
+               const std::function<void(const std::vector<std::uint32_t>&)>&
+                   visit) {
+  if (depth == current.size()) {
+    visit(current);
+    return;
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (i > 0 && pool[i] == pool[i - 1]) continue;  // skip duplicates
+    const std::uint32_t v = pool[i];
+    current[depth] = v;
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+    enumerate(pool, current, depth + 1, visit);
+    pool.insert(pool.begin() + static_cast<std::ptrdiff_t>(i), v);
+  }
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> min_tree_diameter_bruteforce(
+    const DegreeSequence& d) {
+  if (!tree_realizable(d)) return std::nullopt;
+  const std::size_t n = d.size();
+  if (n == 1) return 0;
+  if (n == 2) return 1;
+
+  // Build the Prüfer multiset: vertex v appears d[v] - 1 times.
+  std::vector<std::uint32_t> pool;
+  for (std::uint32_t v = 0; v < n; ++v)
+    for (std::uint64_t k = 1; k < d[v]; ++k) pool.push_back(v);
+  DGR_CHECK(pool.size() == n - 2);
+  std::sort(pool.begin(), pool.end());
+
+  std::uint64_t best = ~std::uint64_t{0};
+  std::vector<std::uint32_t> current(n - 2);
+  enumerate(pool, current, 0,
+            [&](const std::vector<std::uint32_t>& seq) {
+              const Graph t = prufer_decode(seq);
+              best = std::min(best, tree_diameter(t));
+            });
+  return best;
+}
+
+}  // namespace dgr::graph

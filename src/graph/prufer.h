@@ -1,0 +1,28 @@
+// Prüfer-sequence machinery: an independent oracle for the tree experiments.
+//
+// A Prüfer sequence of length n-2 over [0, n) encodes a labeled tree where
+// vertex v appears exactly deg(v) - 1 times. Enumerating all sequences whose
+// occurrence counts match a degree sequence enumerates all labeled trees
+// realizing it — used to brute-force the minimum possible diameter for small
+// n (validates Lemma 15 / Theorem 16).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/degree_sequence.h"
+#include "graph/graph.h"
+
+namespace dgr::graph {
+
+/// Decode a Prüfer sequence into its tree (n = seq.size() + 2).
+Graph prufer_decode(const std::vector<std::uint32_t>& seq);
+
+/// Minimum diameter over all labeled trees whose vertex degrees are exactly
+/// `d` (vertex i has degree d[i]). Exhaustive; practical for n <= ~9.
+/// Returns nullopt if `d` is not tree-realizable.
+std::optional<std::uint64_t> min_tree_diameter_bruteforce(
+    const DegreeSequence& d);
+
+}  // namespace dgr::graph

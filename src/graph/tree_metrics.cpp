@@ -1,0 +1,31 @@
+#include "graph/tree_metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dgr::graph {
+
+std::uint64_t tree_diameter(const Graph& g) {
+  DGR_CHECK_MSG(g.is_tree(), "tree_diameter requires a tree");
+  if (g.n() <= 1) return 0;
+  auto dist = g.bfs_distances(0);
+  const auto far1 = static_cast<Vertex>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+  dist = g.bfs_distances(far1);
+  return static_cast<std::uint64_t>(
+      *std::max_element(dist.begin(), dist.end()));
+}
+
+std::vector<std::uint64_t> eccentricities(const Graph& g) {
+  std::vector<std::uint64_t> ecc(g.n(), 0);
+  for (Vertex v = 0; v < g.n(); ++v) {
+    const auto dist = g.bfs_distances(v);
+    std::int64_t best = 0;
+    for (const auto d : dist) best = std::max(best, d);
+    ecc[v] = static_cast<std::uint64_t>(best);
+  }
+  return ecc;
+}
+
+}  // namespace dgr::graph

@@ -1,0 +1,18 @@
+// Tree diameter / eccentricity utilities for the §5 experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgr::graph {
+
+/// Exact diameter of a tree via double BFS. Requires g.is_tree().
+std::uint64_t tree_diameter(const Graph& g);
+
+/// Eccentricity of every vertex (max BFS distance). O(n^2); for trees and
+/// small graphs in tests/examples.
+std::vector<std::uint64_t> eccentricities(const Graph& g);
+
+}  // namespace dgr::graph

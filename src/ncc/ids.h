@@ -1,0 +1,24 @@
+// Core identifier types for the NCC model.
+//
+// A NodeId is the node's globally-unique address (the paper's "IP address"),
+// drawn from [1, n^c]. A Slot is the simulator's dense internal index; it is
+// referee-side bookkeeping that protocols must never treat as knowledge.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dgr::ncc {
+
+using NodeId = std::uint64_t;
+/// Sentinel "no node"; valid IDs are >= 1.
+inline constexpr NodeId kNoNode = 0;
+
+using Slot = std::uint32_t;
+inline constexpr Slot kNoSlot = std::numeric_limits<Slot>::max();
+
+/// Position of a node along a path overlay (0-based).
+using Position = std::int64_t;
+inline constexpr Position kNoPosition = -1;
+
+}  // namespace dgr::ncc

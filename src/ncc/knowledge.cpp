@@ -1,0 +1,4 @@
+#include "ncc/knowledge.h"
+
+// Header-only today; the translation unit anchors the target and leaves room
+// for heavier knowledge representations (bitsets, bloom filters) later.

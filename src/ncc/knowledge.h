@@ -1,0 +1,41 @@
+// Per-node ID-knowledge tracking (the KT0/KT1 distinction).
+//
+// A node may address a message to v only if it knows v's ID. Knowledge grows
+// monotonically: initial knowledge, sender IDs of delivered messages, and ID
+// words carried in payloads.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "ncc/ids.h"
+
+namespace dgr::ncc {
+
+class Knowledge {
+ public:
+  /// NCC1: knows every ID; the set is not materialized.
+  void set_all() {
+    all_ = true;
+    set_.clear();
+  }
+
+  bool knows_all() const { return all_; }
+
+  bool knows(NodeId id) const {
+    return id != kNoNode && (all_ || set_.contains(id));
+  }
+
+  void learn(NodeId id) {
+    if (!all_ && id != kNoNode) set_.insert(id);
+  }
+
+  /// Number of distinct IDs known; n must be supplied for the NCC1 case.
+  std::size_t size(std::size_t n) const { return all_ ? n : set_.size(); }
+
+ private:
+  bool all_ = false;
+  std::unordered_set<NodeId> set_;
+};
+
+}  // namespace dgr::ncc

@@ -1,0 +1,63 @@
+// NCC message: a tag plus at most four words, each standing for one
+// O(log n)-bit field (an ID, a position, a degree, ...). Words flagged in
+// id_mask are node IDs: delivering the message teaches them to the receiver,
+// exactly like carrying an address inside a packet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ncc/ids.h"
+#include "util/check.h"
+
+namespace dgr::ncc {
+
+/// Maximum payload words per message (message size O(log n) bits).
+inline constexpr std::size_t kMaxWords = 4;
+
+struct Message {
+  std::uint32_t tag = 0;
+  std::uint8_t size = 0;      ///< number of words in use
+  std::uint8_t id_mask = 0;   ///< bit i set => words[i] is a NodeId
+  std::array<std::uint64_t, kMaxWords> words{};
+  NodeId src = kNoNode;       ///< filled in by the engine on send
+
+  /// Appends a plain word; returns *this for chaining.
+  Message& push(std::uint64_t w) {
+    DGR_CHECK_MSG(size < kMaxWords, "message payload overflow");
+    words[size++] = w;
+    return *this;
+  }
+
+  /// Appends a NodeId word; the receiver will learn this ID on delivery.
+  Message& push_id(NodeId id) {
+    DGR_CHECK_MSG(size < kMaxWords, "message payload overflow");
+    id_mask = static_cast<std::uint8_t>(id_mask | (1u << size));
+    words[size++] = id;
+    return *this;
+  }
+
+  std::uint64_t word(std::size_t i) const {
+    DGR_CHECK(i < size);
+    return words[i];
+  }
+
+  /// Signed view of a word (positions may be sentinel -1).
+  std::int64_t sword(std::size_t i) const {
+    return static_cast<std::int64_t>(word(i));
+  }
+
+  NodeId id_word(std::size_t i) const {
+    DGR_CHECK(i < size && (id_mask & (1u << i)));
+    return static_cast<NodeId>(words[i]);
+  }
+};
+
+/// Convenience constructor.
+inline Message make_msg(std::uint32_t tag) {
+  Message m;
+  m.tag = tag;
+  return m;
+}
+
+}  // namespace dgr::ncc

@@ -1,0 +1,316 @@
+#include "ncc/network.h"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dgr::ncc {
+
+// ---------------------------------------------------------------- Ctx ----
+
+NodeId Ctx::id() const { return net_.ids_[slot_]; }
+std::size_t Ctx::n() const { return net_.n_; }
+std::uint64_t Ctx::round() const { return net_.stats_.rounds; }
+int Ctx::capacity() const { return net_.capacity_; }
+int Ctx::sends_left() const {
+  return net_.capacity_ - net_.sends_this_round_[slot_];
+}
+
+bool Ctx::knows(NodeId id) const { return net_.know_[slot_].knows(id); }
+
+NodeId Ctx::initial_successor() const { return net_.initial_succ_[slot_]; }
+
+std::span<const NodeId> Ctx::all_ids() const {
+  DGR_CHECK_MSG(net_.is_clique(),
+                "all_ids() is common knowledge only in the NCC1 model");
+  return net_.sorted_ids_;
+}
+
+void Ctx::send(NodeId to, Message m) {
+  DGR_CHECK_MSG(to != kNoNode, "send to null ID");
+  DGR_CHECK_MSG(knows(to), "node " << id() << " does not know ID " << to
+                                   << " (KT0 violation)");
+  // A node can only transmit IDs it actually knows (no referee leakage).
+  for (std::size_t w = 0; w < m.size; ++w) {
+    if (m.id_mask & (1u << w)) {
+      DGR_CHECK_MSG(knows(m.words[w]),
+                    "node " << id() << " forwards unknown ID " << m.words[w]);
+    }
+  }
+  DGR_CHECK_MSG(net_.sends_this_round_[slot_] < net_.capacity_,
+                "send capacity exceeded at node " << id());
+  const Slot dst = net_.slot_of(to);
+  m.src = id();
+  net_.outbox_[slot_].push_back({dst, std::move(m)});
+  ++net_.sends_this_round_[slot_];
+}
+
+std::span<const Message> Ctx::inbox() const { return net_.inbox_[slot_]; }
+std::span<const Bounced> Ctx::bounced() const { return net_.bounced_[slot_]; }
+
+Rng& Ctx::rng() { return net_.node_rng_[slot_]; }
+
+// ------------------------------------------------------------ Network ----
+
+Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
+  DGR_CHECK_MSG(n >= 1, "network needs at least one node");
+  capacity_ = std::max(cfg_.min_capacity,
+                       cfg_.capacity_factor * ceil_log2(std::max<std::size_t>(n, 2)));
+
+  Rng seeder(hash_mix(cfg_.seed, 0xA11CE5ULL));
+
+  // Assign unique IDs.
+  ids_.resize(n);
+  if (cfg_.random_ids) {
+    // Draw from [1, max(16 n^2, 1024)]: collisions are rare; re-draw on hit.
+    const std::uint64_t space =
+        std::max<std::uint64_t>(16ULL * n * n, 1024ULL);
+    std::vector<NodeId> drawn;
+    drawn.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) drawn.push_back(1 + seeder.below(space));
+    std::sort(drawn.begin(), drawn.end());
+    bool dup = std::adjacent_find(drawn.begin(), drawn.end()) != drawn.end();
+    while (dup) {
+      for (std::size_t i = 0; i + 1 < n; ++i)
+        if (drawn[i] == drawn[i + 1]) drawn[i + 1] = 1 + seeder.below(space);
+      std::sort(drawn.begin(), drawn.end());
+      dup = std::adjacent_find(drawn.begin(), drawn.end()) != drawn.end();
+    }
+    // Scatter sorted IDs over slots so slot order carries no information.
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    seeder.shuffle(perm);
+    for (std::size_t i = 0; i < n; ++i) ids_[perm[i]] = drawn[i];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) ids_[i] = static_cast<NodeId>(i + 1);
+  }
+
+  sorted_ids_ = ids_;
+  std::sort(sorted_ids_.begin(), sorted_ids_.end());
+
+  id_index_.reserve(n);
+  for (Slot s = 0; s < n; ++s) id_index_.emplace_back(ids_[s], s);
+  std::sort(id_index_.begin(), id_index_.end());
+
+  // Initial knowledge graph Gk.
+  path_order_.resize(n);
+  std::iota(path_order_.begin(), path_order_.end(), Slot{0});
+  if (cfg_.shuffle_path) seeder.shuffle(path_order_);
+
+  know_.resize(n);
+  initial_succ_.assign(n, kNoNode);
+  // The path hints exist in both variants: NCC1 knowledge strictly contains
+  // NCC0's, so NCC0 algorithms run unchanged on an NCC1 network (paper §2).
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const Slot u = path_order_[i];
+    const Slot v = path_order_[i + 1];
+    initial_succ_[u] = ids_[v];
+    know_[u].learn(ids_[v]);
+  }
+  if (cfg_.initial == InitialKnowledge::kClique) {
+    for (auto& k : know_) k.set_all();
+  }
+  // Every node knows its own ID.
+  for (Slot s = 0; s < n; ++s) know_[s].learn(ids_[s]);
+
+  outbox_.resize(n);
+  sends_this_round_.assign(n, 0);
+  inbox_.resize(n);
+  bounced_.resize(n);
+
+  node_rng_.reserve(n);
+  for (Slot s = 0; s < n; ++s)
+    node_rng_.push_back(Rng(hash_mix(cfg_.seed, 0x0DE5EED5ULL, s)));
+
+  crashed_.assign(n, 0);
+}
+
+std::size_t Network::crashed_count() const {
+  std::size_t c = 0;
+  for (const auto x : crashed_) c += x;
+  return c;
+}
+
+Slot Network::slot_of(NodeId id) const {
+  auto it = std::lower_bound(id_index_.begin(), id_index_.end(),
+                             std::make_pair(id, Slot{0}));
+  DGR_CHECK_MSG(it != id_index_.end() && it->first == id,
+                "unknown NodeId " << id);
+  return it->second;
+}
+
+std::size_t Network::max_knowledge() const {
+  std::size_t best = 0;
+  for (const auto& k : know_) best = std::max(best, k.size(n_));
+  return best;
+}
+
+std::size_t Network::total_knowledge() const {
+  std::size_t total = 0;
+  for (const auto& k : know_) total += k.size(n_);
+  return total;
+}
+
+void Network::round(const std::function<void(Ctx&)>& body) {
+  DGR_CHECK_MSG(stats_.rounds < cfg_.max_rounds,
+                "round budget exhausted (" << cfg_.max_rounds << ")");
+
+  std::fill(sends_this_round_.begin(), sends_this_round_.end(), 0);
+  for (auto& out : outbox_) out.clear();
+
+  // Run the per-node body. Nodes are independent by contract, so slots can
+  // be processed in parallel; all randomness is per-slot, so the transcript
+  // is identical for any thread count.
+  const unsigned threads =
+      std::min<unsigned>(std::max(1u, cfg_.threads),
+                         static_cast<unsigned>(n_));
+  if (threads <= 1) {
+    for (Slot s = 0; s < n_; ++s) {
+      if (crashed_[s]) continue;
+      Ctx ctx(*this, s);
+      body(ctx);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    std::exception_ptr first_error;
+    std::mutex err_mu;
+    const std::size_t chunk = (n_ + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      const Slot lo = static_cast<Slot>(std::min<std::size_t>(t * chunk, n_));
+      const Slot hi =
+          static_cast<Slot>(std::min<std::size_t>((t + 1) * chunk, n_));
+      pool.emplace_back([&, lo, hi] {
+        try {
+          for (Slot s = lo; s < hi; ++s) {
+            if (crashed_[s]) continue;
+            Ctx ctx(*this, s);
+            body(ctx);
+          }
+        } catch (...) {
+          std::scoped_lock lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  deliver();
+  ++stats_.rounds;
+}
+
+void Network::deliver() {
+  // Gather per-destination, iterating sources in slot order so delivery is
+  // deterministic regardless of execution threading.
+  auto& buckets = delivery_buckets_;
+  if (buckets.size() < n_) buckets.resize(n_);
+  for (auto& b : buckets) b.clear();
+
+  Rng delivery_rng(hash_mix(cfg_.seed, 0xDE11FE12ULL, stats_.rounds));
+
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t max_send = 0;
+  for (Slot s = 0; s < n_; ++s) {
+    max_send = std::max<std::uint64_t>(max_send, outbox_[s].size());
+    for (auto& out : outbox_[s]) {
+      ++sent;
+      // Link loss: the message silently disappears; the sender learns
+      // nothing (unlike a capacity bounce). A crashed destination behaves
+      // identically — the sender cannot tell the difference.
+      if (crashed_[out.dst] ||
+          (cfg_.drop_probability > 0.0 &&
+           delivery_rng.chance(cfg_.drop_probability))) {
+        ++dropped;
+        if (trace_)
+          trace_->record({stats_.rounds, s, out.dst, out.msg.tag,
+                          MessageOutcome::kDropped});
+        continue;
+      }
+      buckets[out.dst].emplace_back(s, std::move(out.msg));
+    }
+  }
+  stats_.messages_sent += sent;
+  stats_.messages_dropped += dropped;
+  stats_.max_send_in_round = std::max(stats_.max_send_in_round, max_send);
+
+  for (auto& b : bounced_) b.clear();
+
+  const auto cap = static_cast<std::size_t>(capacity_);
+  std::uint64_t delivered = 0;
+  std::uint64_t bounced = 0;
+  for (Slot d = 0; d < n_; ++d) {
+    auto& incoming = buckets[d];
+    auto& box = inbox_[d];
+    box.clear();
+    stats_.max_recv_in_round =
+        std::max<std::uint64_t>(stats_.max_recv_in_round, incoming.size());
+
+    if (incoming.size() > cap) {
+      DGR_CHECK_MSG(cfg_.overflow == OverflowPolicy::kBounce,
+                    "receive capacity exceeded at node "
+                        << ids_[d] << " (" << incoming.size() << " > " << cap
+                        << ") in strict mode");
+      // Accept a uniformly random cap-sized subset, preserving source order
+      // among the accepted (partial Fisher-Yates on indices).
+      std::vector<std::size_t> idx(incoming.size());
+      std::iota(idx.begin(), idx.end(), 0);
+      for (std::size_t i = 0; i < cap; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(delivery_rng.below(idx.size() - i));
+        std::swap(idx[i], idx[j]);
+      }
+      std::sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(cap));
+      std::vector<bool> accepted(incoming.size(), false);
+      for (std::size_t i = 0; i < cap; ++i) accepted[idx[i]] = true;
+      for (std::size_t i = 0; i < incoming.size(); ++i) {
+        auto& [src, msg] = incoming[i];
+        if (trace_)
+          trace_->record({stats_.rounds, src, d, msg.tag,
+                          accepted[i] ? MessageOutcome::kDelivered
+                                      : MessageOutcome::kBounced});
+        if (accepted[i]) {
+          know_[d].learn(msg.src);
+          for (std::size_t w = 0; w < msg.size; ++w)
+            if (msg.id_mask & (1u << w)) know_[d].learn(msg.words[w]);
+          box.push_back(std::move(msg));
+          ++delivered;
+        } else {
+          bounced_[src].push_back({ids_[d], std::move(msg)});
+          ++bounced;
+        }
+      }
+    } else {
+      for (auto& [src, msg] : incoming) {
+        if (trace_)
+          trace_->record({stats_.rounds, src, d, msg.tag,
+                          MessageOutcome::kDelivered});
+        know_[d].learn(msg.src);
+        for (std::size_t w = 0; w < msg.size; ++w)
+          if (msg.id_mask & (1u << w)) know_[d].learn(msg.words[w]);
+        box.push_back(std::move(msg));
+        ++delivered;
+      }
+    }
+  }
+  stats_.messages_delivered += delivered;
+  stats_.messages_bounced += bounced;
+}
+
+std::uint64_t Network::run_until(const std::function<bool()>& done,
+                                 const std::function<void(Ctx&)>& body) {
+  std::uint64_t executed = 0;
+  while (!done()) {
+    round(body);
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace dgr::ncc

@@ -1,0 +1,182 @@
+// The NCC round engine (paper §2).
+//
+// A Network owns n nodes with unique IDs, their knowledge sets, and the
+// synchronous round loop. All protocol communication flows through
+// Ctx::send, which enforces the two model rules:
+//   1. the sender must know the destination's ID (KT0 knowledge), and
+//   2. a node sends at most `capacity()` messages per round.
+// Receive capacity is enforced at delivery; see OverflowPolicy.
+//
+// Protocol style: orchestration code calls net.round(body) once per
+// synchronous round; `body` runs once per node and must use only that node's
+// local state plus ctx.inbox(). Messages sent in round t are visible in
+// inboxes during round t+1. Referee-side accessors (slot_of, path_order, ...)
+// exist for verification and test assertions only.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ncc/config.h"
+#include "ncc/ids.h"
+#include "ncc/knowledge.h"
+#include "ncc/message.h"
+#include "ncc/stats.h"
+#include "ncc/trace.h"
+#include "util/rng.h"
+
+namespace dgr::ncc {
+
+class Network;
+
+/// A message returned to its sender because the receiver was oversubscribed.
+struct Bounced {
+  NodeId dst = kNoNode;
+  Message msg;
+};
+
+/// Per-node view handed to the round body. Only node-local information is
+/// reachable through it.
+class Ctx {
+ public:
+  NodeId id() const;
+  Slot slot() const { return slot_; }
+  /// n is common knowledge in the model (paper §3.1.1 assumes it).
+  std::size_t n() const;
+  /// Global synchronous round number (common knowledge: nodes count rounds).
+  std::uint64_t round() const;
+  /// Per-round send/receive budget, Theta(log n) messages.
+  int capacity() const;
+  /// Send budget still available to this node in the current round.
+  int sends_left() const;
+
+  bool knows(NodeId id) const;
+  /// Initial knowledge: ID of this node's successor in the directed path Gk
+  /// (kNoNode for the last node, or in clique mode).
+  NodeId initial_successor() const;
+  /// NCC1 only: the sorted list of all IDs (common knowledge in KT1).
+  std::span<const NodeId> all_ids() const;
+
+  /// Queue a message for delivery next round. Enforces knowledge + send cap.
+  void send(NodeId to, Message m);
+
+  /// Messages delivered to this node at the start of the current round.
+  std::span<const Message> inbox() const;
+  /// This node's sends from the previous round that were bounced.
+  std::span<const Bounced> bounced() const;
+
+  /// Node-private random stream (stable across runs and thread counts).
+  Rng& rng();
+
+ private:
+  friend class Network;
+  Ctx(Network& net, Slot slot) : net_(net), slot_(slot) {}
+  Network& net_;
+  Slot slot_;
+};
+
+class Network {
+ public:
+  Network(std::size_t n, Config cfg = {});
+
+  std::size_t n() const { return n_; }
+  const Config& config() const { return cfg_; }
+  int capacity() const { return capacity_; }
+  bool is_clique() const { return cfg_.initial == InitialKnowledge::kClique; }
+
+  /// Execute one synchronous round: run `body` once per node, then deliver.
+  void round(const std::function<void(Ctx&)>& body);
+
+  /// Run `body` every round until `done()` (referee-side predicate) returns
+  /// true, checking before each round. Returns rounds executed.
+  std::uint64_t run_until(const std::function<bool()>& done,
+                          const std::function<void(Ctx&)>& body);
+
+  const NetStats& stats() const { return stats_; }
+  void add_scope_rounds(const std::string& name, std::uint64_t r) {
+    stats_.scope_rounds[name] += r;
+  }
+
+  /// Adjust the link-loss rate mid-simulation (referee-side experiment
+  /// control; e.g. run a lossless build phase, then a lossy exchange).
+  void set_drop_probability(double p) { cfg_.drop_probability = p; }
+
+  /// Attach (or detach with nullptr) a message-level trace. The Network
+  /// does not own the trace; it must outlive the attachment.
+  void set_trace(Trace* trace) { trace_ = trace; }
+
+  /// Crash-fault injection (§8 robustness experiments): a crashed node
+  /// stops executing round bodies and every message addressed to it is
+  /// lost (senders get no feedback — a crash is indistinguishable from
+  /// loss, which is what makes it interesting).
+  void crash(Slot s) { crashed_[s] = 1; }
+  bool is_crashed(Slot s) const { return crashed_[s] != 0; }
+  std::size_t crashed_count() const;
+
+  // --- Referee-side accessors (verification / test assertions only) ---
+  NodeId id_of(Slot s) const { return ids_[s]; }
+  Slot slot_of(NodeId id) const;
+  /// Path order of Gk: path_order()[i] is the slot at path position i.
+  const std::vector<Slot>& path_order() const { return path_order_; }
+  /// Number of distinct IDs node `s` currently knows.
+  std::size_t knowledge_size(Slot s) const { return know_[s].size(n_); }
+  bool node_knows(Slot s, NodeId id) const { return know_[s].knows(id); }
+  /// Maximum knowledge-set size over all nodes (information accounting for
+  /// the §7 lower-bound experiments).
+  std::size_t max_knowledge() const;
+  std::size_t total_knowledge() const;
+
+ private:
+  friend class Ctx;
+
+  void deliver();
+
+  std::size_t n_;
+  Config cfg_;
+  int capacity_;
+
+  std::vector<NodeId> ids_;               // slot -> ID
+  std::vector<NodeId> sorted_ids_;        // ascending (NCC1 common knowledge)
+  std::vector<Slot> path_order_;          // position -> slot
+  std::vector<NodeId> initial_succ_;      // slot -> successor ID in Gk
+  std::vector<Knowledge> know_;
+
+  // Round-transient state.
+  struct Outgoing {
+    Slot dst;
+    Message msg;
+  };
+  std::vector<std::vector<Outgoing>> outbox_;   // per source slot
+  std::vector<int> sends_this_round_;
+  std::vector<std::vector<Message>> inbox_;     // delivered last round
+  std::vector<std::vector<Bounced>> bounced_;
+  std::vector<std::vector<std::pair<Slot, Message>>> delivery_buckets_;
+
+  std::vector<Rng> node_rng_;
+  std::vector<std::uint8_t> crashed_;
+  Trace* trace_ = nullptr;
+
+  NetStats stats_;
+
+  // ID -> slot lookup.
+  std::vector<std::pair<NodeId, Slot>> id_index_;  // sorted by id
+};
+
+/// RAII helper attributing rounds to a named phase in NetStats::scope_rounds.
+class ScopedRounds {
+ public:
+  ScopedRounds(Network& net, std::string name)
+      : net_(net), name_(std::move(name)), start_(net.stats().rounds) {}
+  ~ScopedRounds() { net_.add_scope_rounds(name_, net_.stats().rounds - start_); }
+  ScopedRounds(const ScopedRounds&) = delete;
+  ScopedRounds& operator=(const ScopedRounds&) = delete;
+
+ private:
+  Network& net_;
+  std::string name_;
+  std::uint64_t start_;
+};
+
+}  // namespace dgr::ncc

@@ -1,0 +1,56 @@
+// SendQueue: paces an arbitrarily large set of outgoing messages under the
+// per-round send cap and transparently retries bounced messages.
+//
+// This is the Las-Vegas workhorse behind the paper's Theorem 12 (making a
+// realization explicit) and Algorithm 6 phase 2: a node with deg(v) pending
+// notifications drips them out at Theta(log n) per round; oversubscribed
+// receivers bounce the excess, and bounces are retried until everything
+// drains — w.h.p. within O(load/log n + log n) rounds.
+//
+// Usage inside a round body (one queue per node, owned by the algorithm):
+//   queues[ctx.slot()].pump(ctx);
+// pump() first re-ingests this node's bounces from the previous round (only
+// those whose tag passes the filter), then sends as much of the backlog as
+// the remaining round budget allows.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "ncc/network.h"
+
+namespace dgr::ncc {
+
+class SendQueue {
+ public:
+  SendQueue() = default;
+
+  /// Restrict bounce re-ingestion to messages with this tag (a node may run
+  /// several utilities; each must only retry its own traffic).
+  explicit SendQueue(std::uint32_t tag_filter)
+      : has_filter_(true), tag_filter_(tag_filter) {}
+
+  void push(NodeId dst, Message m) { queue_.push_back({dst, std::move(m)}); }
+
+  /// Re-ingest bounces, then send while budget remains. Call at most once
+  /// per node per round.
+  void pump(Ctx& ctx);
+
+  bool idle() const { return queue_.empty() && in_flight_ == 0; }
+  std::size_t backlog() const { return queue_.size(); }
+  std::uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  struct Pending {
+    NodeId dst;
+    Message msg;
+  };
+  std::deque<Pending> queue_;
+  std::uint64_t in_flight_ = 0;       // sent, not yet known-delivered
+  std::uint64_t last_pump_round_ = ~std::uint64_t{0};
+  bool has_filter_ = false;
+  std::uint32_t tag_filter_ = 0;
+};
+
+}  // namespace dgr::ncc

@@ -1,0 +1,23 @@
+// Round and message accounting for a simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dgr::ncc {
+
+struct NetStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_sent = 0;       ///< accepted by the engine
+  std::uint64_t messages_delivered = 0;  ///< reached an inbox
+  std::uint64_t messages_bounced = 0;    ///< returned to sender (overflow)
+  std::uint64_t messages_dropped = 0;    ///< lost to link failure (no feedback)
+  std::uint64_t max_send_in_round = 0;   ///< max per-node sends in any round
+  std::uint64_t max_recv_in_round = 0;   ///< max per-node deliveries in any round
+
+  /// Rounds attributed to named phases via ScopedRounds.
+  std::map<std::string, std::uint64_t> scope_rounds;
+};
+
+}  // namespace dgr::ncc

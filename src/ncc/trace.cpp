@@ -1,0 +1,47 @@
+#include "ncc/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dgr::ncc {
+
+void Trace::record(const TraceEvent& e) {
+  ++total_;
+  ++per_tag_[e.tag];
+  ++per_round_[e.round];
+  switch (e.outcome) {
+    case MessageOutcome::kDelivered: ++delivered_; break;
+    case MessageOutcome::kBounced: ++bounced_; break;
+    case MessageOutcome::kDropped: ++dropped_; break;
+  }
+  if (events_.size() < max_events_) events_.push_back(e);
+}
+
+std::pair<std::uint64_t, std::uint64_t> Trace::busiest_round() const {
+  std::pair<std::uint64_t, std::uint64_t> best{0, 0};
+  for (const auto& [round, count] : per_round_) {
+    if (count > best.second) best = {round, count};
+  }
+  return best;
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "round,src,dst,tag,outcome\n";
+  for (const auto& e : events_) {
+    const char* outcome = e.outcome == MessageOutcome::kDelivered ? "delivered"
+                          : e.outcome == MessageOutcome::kBounced ? "bounced"
+                                                                  : "dropped";
+    os << e.round << ',' << e.src << ',' << e.dst << ',' << e.tag << ','
+       << outcome << '\n';
+  }
+}
+
+void Trace::clear() {
+  events_.clear();
+  per_tag_.clear();
+  per_round_.clear();
+  total_ = 0;
+  delivered_ = bounced_ = dropped_ = 0;
+}
+
+}  // namespace dgr::ncc

@@ -1,0 +1,71 @@
+// Global computational primitives over a tree overlay (paper §3.2.1,
+// Theorem 4): broadcast from the root or from an arbitrary leader, and
+// aggregation of a distributive function to the root (optionally echoed back
+// to everyone). All run in O(height) = O(log n) rounds, deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ncc/network.h"
+#include "primitives/bbst.h"
+
+namespace dgr::prim {
+
+/// Distributive aggregate combiner; plain word-level function (the model
+/// allows unbounded local computation).
+using Combiner = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+/// Ready-made combiners.
+std::uint64_t comb_sum(std::uint64_t a, std::uint64_t b);
+std::uint64_t comb_max(std::uint64_t a, std::uint64_t b);
+std::uint64_t comb_min(std::uint64_t a, std::uint64_t b);
+std::uint64_t comb_or(std::uint64_t a, std::uint64_t b);
+
+/// Root floods `value` (one word; flag it as an ID with value_is_id so
+/// receivers learn it). Returns the per-slot received value (members only).
+std::vector<std::uint64_t> broadcast_from_root(ncc::Network& net,
+                                               const TreeOverlay& tree,
+                                               std::uint64_t value,
+                                               bool value_is_id = false);
+
+/// Convergecast of f over per-slot values; the root ends up with
+/// f(all member values), which is returned.
+std::uint64_t aggregate_to_root(ncc::Network& net, const TreeOverlay& tree,
+                                const std::vector<std::uint64_t>& value,
+                                const Combiner& f);
+
+/// Aggregation followed by a root broadcast: every member learns f(all).
+/// Returns the aggregate. O(log n) rounds total.
+std::uint64_t aggregate_and_broadcast(ncc::Network& net,
+                                      const TreeOverlay& tree,
+                                      const std::vector<std::uint64_t>& value,
+                                      const Combiner& f,
+                                      bool value_is_id = false);
+
+/// Theorem 4's designated-leader broadcast: the leader's token climbs to the
+/// root along parent pointers, then floods down. 2·height rounds.
+std::vector<std::uint64_t> broadcast_from_leader(ncc::Network& net,
+                                                 const TreeOverlay& tree,
+                                                 Slot leader,
+                                                 std::uint64_t value,
+                                                 bool value_is_id = false);
+
+/// Argmax aggregation: every member contributes (key, its own ID); the root
+/// learns the ID of a node with the maximum key (smallest ID on ties) and
+/// floods it. Every member ends up knowing the winner's ID and key.
+struct ArgmaxResult {
+  std::uint64_t key = 0;
+  ncc::NodeId id = ncc::kNoNode;  ///< winner (learned by every member)
+};
+ArgmaxResult aggregate_argmax(ncc::Network& net, const TreeOverlay& tree,
+                              const std::vector<std::uint64_t>& key);
+
+/// Corollary 2's second half: the median node of the path announces itself,
+/// and its ID becomes common knowledge in O(log n) rounds. The median knows
+/// it is the median from its position and the (common knowledge) length.
+ncc::NodeId announce_median(ncc::Network& net, const TreeOverlay& tree,
+                            const PathOverlay& path);
+
+}  // namespace dgr::prim

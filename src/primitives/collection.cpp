@@ -1,0 +1,99 @@
+#include "primitives/collection.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "ncc/send_queue.h"
+#include "primitives/broadcast.h"
+#include "util/check.h"
+
+namespace dgr::prim {
+
+namespace {
+enum Tag : std::uint32_t {
+  kTagCollect = 0x60,  // word0 = token
+  kTagDirect = 0x61,   // word0 = payload, word1 = user tag
+};
+}  // namespace
+
+std::vector<std::uint64_t> global_collect(
+    ncc::Network& net, const TreeOverlay& tree, Slot leader,
+    const std::vector<std::uint8_t>& has,
+    const std::vector<std::uint64_t>& token) {
+  ncc::ScopedRounds scope(net, "global_collect");
+  const std::size_t n = net.n();
+  DGR_CHECK(has.size() == n && token.size() == n);
+  DGR_CHECK(tree.member(leader));
+
+  // Make the leader's ID common knowledge over the tree (leader announces
+  // itself; the token climbs to the root and floods down).
+  broadcast_from_leader(net, tree, leader, net.id_of(leader),
+                        /*value_is_id=*/true);
+
+  std::vector<ncc::SendQueue> queues;
+  queues.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) queues.emplace_back(kTagCollect);
+  const NodeId leader_id = net.id_of(leader);
+  for (Slot s = 0; s < n; ++s) {
+    if (!has[s]) continue;
+    queues[s].push(leader_id, ncc::make_msg(kTagCollect).push(token[s]));
+  }
+
+  std::vector<std::uint64_t> collected;
+  std::mutex collected_mu;
+  std::atomic<std::size_t> busy{1};
+  while (busy.load() != 0) {
+    busy.store(0);
+    net.round([&](ncc::Ctx& ctx) {
+      const Slot s = ctx.slot();
+      if (s == leader) {
+        for (const auto& m : ctx.inbox()) {
+          if (m.tag != kTagCollect) continue;
+          std::scoped_lock lk(collected_mu);
+          collected.push_back(m.word(0));
+        }
+      }
+      queues[s].pump(ctx);
+      if (!queues[s].idle()) busy.fetch_add(1);
+    });
+  }
+  return collected;
+}
+
+std::uint64_t direct_exchange(ncc::Network& net,
+                              const std::vector<std::vector<DirectSend>>& batch,
+                              const DirectDeliver& on_deliver) {
+  ncc::ScopedRounds scope(net, "direct_exchange");
+  const std::size_t n = net.n();
+  DGR_CHECK(batch.size() == n);
+
+  std::vector<ncc::SendQueue> queues;
+  queues.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) queues.emplace_back(kTagDirect);
+  for (Slot s = 0; s < n; ++s) {
+    for (const auto& d : batch[s]) {
+      auto m = ncc::make_msg(kTagDirect);
+      if (d.payload_is_id) m.push_id(d.payload); else m.push(d.payload);
+      m.push(d.user_tag);
+      queues[s].push(d.dst, m);
+    }
+  }
+
+  const std::uint64_t start = net.stats().rounds;
+  std::atomic<std::size_t> busy{1};
+  while (busy.load() != 0) {
+    busy.store(0);
+    net.round([&](ncc::Ctx& ctx) {
+      const Slot s = ctx.slot();
+      for (const auto& m : ctx.inbox()) {
+        if (m.tag != kTagDirect) continue;
+        on_deliver(s, m.src, static_cast<std::uint32_t>(m.word(1)), m.word(0));
+      }
+      queues[s].pump(ctx);
+      if (!queues[s].idle()) busy.fetch_add(1);
+    });
+  }
+  return net.stats().rounds - start;
+}
+
+}  // namespace dgr::prim

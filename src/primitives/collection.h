@@ -1,0 +1,47 @@
+// Token collection primitives (paper §3.2.2 Theorem 5 and §3.2.3
+// Theorem 8, as the algorithms use them).
+//
+// global_collect: a leader gathers one token from each node of a subset A.
+// The leader's ID is first flooded over the tree (O(log n)); holders then
+// send directly, paced by SendQueue back-pressure — O(|A|/log n + log n)
+// rounds w.h.p., matching Theorem 5's O(k + log n) budget.
+//
+// direct_exchange: every node delivers a private batch of messages to
+// destinations whose IDs it already knows (the Theorem 8 / Theorem 12
+// pattern: one token per implicit edge). Rounds = O(max load / log n +
+// log n) w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "ncc/network.h"
+#include "primitives/bbst.h"
+
+namespace dgr::prim {
+
+/// tokens[s] = the token node s contributes (nullopt encoded as has[s]=0).
+/// Returns the multiset of tokens the leader collected (its local state).
+std::vector<std::uint64_t> global_collect(
+    ncc::Network& net, const TreeOverlay& tree, Slot leader,
+    const std::vector<std::uint8_t>& has,
+    const std::vector<std::uint64_t>& token);
+
+/// One private message batch per node. on_deliver runs in the receiver's
+/// round body. Returns rounds consumed.
+struct DirectSend {
+  NodeId dst;
+  std::uint32_t user_tag = 0;
+  std::uint64_t payload = 0;
+  bool payload_is_id = false;
+};
+using DirectDeliver = std::function<void(
+    Slot receiver, NodeId src, std::uint32_t user_tag, std::uint64_t payload)>;
+
+std::uint64_t direct_exchange(ncc::Network& net,
+                              const std::vector<std::vector<DirectSend>>& batch,
+                              const DirectDeliver& on_deliver);
+
+}  // namespace dgr::prim

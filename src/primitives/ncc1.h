@@ -1,0 +1,27 @@
+// Zero-communication structures available in NCC1 (paper §2: KT1-style
+// common knowledge of all IDs).
+//
+// Because every node holds the same sorted ID list, all nodes can agree on
+// any deterministic structure over it without exchanging a single message.
+// The paper's §6.1 algorithm implicitly uses this ("this step is done in
+// O(1) time in the NCC1-model"); we expose the two structures the library
+// needs.
+#pragma once
+
+#include "ncc/network.h"
+#include "primitives/bbst.h"
+#include "primitives/path.h"
+
+namespace dgr::prim {
+
+/// Complete binary tree (heap layout) over the ID-sorted order; suitable
+/// for all tree primitives that don't need the search/inorder property
+/// (broadcast, aggregation, argmax). Zero rounds.
+TreeOverlay common_knowledge_tree(const ncc::Network& net);
+
+/// Path overlay in ascending-ID order with positions filled — the NCC1
+/// analogue of undirect+BBST+positions, in zero rounds. Supports skip-link
+/// construction and sorting on top.
+PathOverlay common_knowledge_path(const ncc::Network& net);
+
+}  // namespace dgr::prim

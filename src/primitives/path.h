@@ -1,0 +1,53 @@
+// Path overlays (paper §3.1).
+//
+// A PathOverlay is the distributed "linear arrangement" the paper's
+// algorithms march over: each member node knows the IDs of its predecessor
+// and successor, and (after a BBST build) its 0-based position. The overlay
+// struct stores that per-node state indexed by simulator slot, plus a
+// referee-side `order` vector used only for verification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ncc/network.h"
+
+namespace dgr::prim {
+
+using ncc::kNoNode;
+using ncc::kNoPosition;
+using ncc::kNoSlot;
+using ncc::NodeId;
+using ncc::Position;
+using ncc::Slot;
+
+struct PathOverlay {
+  // --- node-local state (entry s belongs to the node in slot s) ---
+  std::vector<NodeId> pred;        ///< predecessor ID (kNoNode at the head)
+  std::vector<NodeId> succ;        ///< successor ID (kNoNode at the tail)
+  std::vector<Position> pos;       ///< 0-based position; kNoPosition = unset
+  std::vector<std::uint8_t> is_member;  ///< membership flag (sub-paths)
+
+  // --- referee-side (verification only; nodes never read this) ---
+  std::vector<Slot> order;         ///< position -> slot
+
+  std::size_t length() const { return order.size(); }
+  bool member(Slot s) const { return is_member[s] != 0; }
+};
+
+/// Converts the directed initial knowledge path Gk into an undirected,
+/// ordered path in one round (each node sends its ID to its successor;
+/// paper §3.1). The head is the node that receives no message.
+PathOverlay undirect_initial_path(ncc::Network& net);
+
+/// Referee helper: builds the overlay bookkeeping for a path whose order is
+/// already known to the orchestrator (e.g. after a distributed sort). The
+/// per-node pred/succ/pos fields must have been established in-protocol; this
+/// only fills the referee `order`/membership vectors for verification.
+PathOverlay referee_path(const ncc::Network& net,
+                         const std::vector<Slot>& order);
+
+/// Referee check: pred/succ/pos are mutually consistent with `order`.
+bool validate_path(const ncc::Network& net, const PathOverlay& path);
+
+}  // namespace dgr::prim

@@ -1,0 +1,50 @@
+// Reliable exactly-once exchange over lossy links (§8 robustness
+// extension).
+//
+// The paper's model assumes reliable links; real P2P networks drop packets.
+// reliable_exchange delivers a private batch of messages per node with
+// exactly-once semantics under independent per-message loss
+// (Config::drop_probability): every data message carries a per-sender
+// sequence number, receivers acknowledge and deduplicate, senders
+// retransmit unacknowledged messages after a fixed timeout. Capacity
+// bounces are treated uniformly as loss (the timeout recovers both), so the
+// same code path handles congestion and link failure.
+//
+// Expected cost: O(load / ((1-p)^2 · log n) + log n) rounds for loss rate
+// p — each attempt succeeds with probability (1-p) for the data and (1-p)
+// for the ack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ncc/network.h"
+#include "primitives/collection.h"
+
+namespace dgr::prim {
+
+/// Runs until every message in `batch` has been delivered and acknowledged.
+/// on_deliver fires exactly once per message, inside the receiver's round
+/// body. Returns rounds consumed. Livelocks (until the round budget guard
+/// fires) if a destination has crashed — use the bounded variant when
+/// peers may be faulty.
+std::uint64_t reliable_exchange(
+    ncc::Network& net, const std::vector<std::vector<DirectSend>>& batch,
+    const DirectDeliver& on_deliver, std::uint64_t retransmit_after = 4);
+
+/// Crash-tolerant variant: a sender abandons a message after
+/// `max_attempts` unacknowledged transmissions (so crashed destinations
+/// cost bounded time instead of livelock). Delivered messages are still
+/// exactly-once.
+struct ReliableResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t delivered = 0;  ///< acknowledged messages
+  std::uint64_t given_up = 0;   ///< abandoned after max_attempts
+};
+ReliableResult reliable_exchange_bounded(
+    ncc::Network& net, const std::vector<std::vector<DirectSend>>& batch,
+    const DirectDeliver& on_deliver, std::uint64_t retransmit_after = 4,
+    std::uint64_t max_attempts = 8);
+
+}  // namespace dgr::prim

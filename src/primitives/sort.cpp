@@ -1,0 +1,278 @@
+#include "primitives/sort.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dgr::prim {
+
+namespace {
+
+enum Tag : std::uint32_t {
+  kTagSortRec = 0x70,   // words = [key, id] — compare-exchange payload
+  kTagNeighRec = 0x71,  // words = [key, id] — post-sort neighbour exchange
+  kTagNewPos = 0x72,    // words = [rank, pred, succ, flags]
+};
+
+struct Record {
+  std::uint64_t key = 0;
+  NodeId id = kNoNode;
+};
+
+struct Stage {
+  std::uint64_t p;  // merge block size parameter
+  std::uint64_t k;  // comparator stride (power of two)
+};
+
+/// Batcher odd-even merge-sort stage list for N = 2^levels elements.
+std::vector<Stage> batcher_stages(std::uint64_t n_pow2) {
+  std::vector<Stage> stages;
+  for (std::uint64_t p = 1; p < n_pow2; p *= 2)
+    for (std::uint64_t k = p; k >= 1; k /= 2) stages.push_back({p, k});
+  return stages;
+}
+
+/// Is position x the lower end of a comparator in stage (p, k) of the
+/// power-of-two network? (Standard iterative Batcher formulation: pairs
+/// (j+i, j+i+k) with j ≡ k mod p (mod 2k), i in [0, k), constrained to a
+/// common 2p-block.)
+bool is_lower_end(std::uint64_t x, const Stage& st, std::uint64_t n_pow2) {
+  const std::uint64_t k = st.k, p = st.p;
+  if (x + k >= n_pow2) return false;
+  const std::uint64_t r = x % (2 * k);
+  const std::uint64_t j0 = k % p;
+  if (r < j0 || r >= j0 + k) return false;
+  return (x / (2 * p)) == ((x + k) / (2 * p));
+}
+
+// Defined below; shared tail of both sorting networks.
+void finish_rewire(ncc::Network& net, const PathOverlay& path,
+                   const std::vector<Record>& rec, SortResult& out);
+
+}  // namespace
+
+SortResult distributed_sort(ncc::Network& net, const PathOverlay& path,
+                            const SkipOverlay& skip,
+                            const std::vector<std::uint64_t>& key,
+                            bool descending) {
+  ncc::ScopedRounds scope(net, "sort");
+  const std::size_t n = net.n();
+  DGR_CHECK(key.size() == n);
+  const std::size_t members = path.order.size();
+
+  SortResult out;
+  out.path.pred.assign(n, kNoNode);
+  out.path.succ.assign(n, kNoNode);
+  out.path.pos.assign(n, kNoPosition);
+  out.path.is_member = path.is_member;
+  out.path.order.assign(members, kNoSlot);
+  if (members == 0) {
+    out.skip = build_skiplinks(net, out.path);
+    return out;
+  }
+
+  // records[s] = the (key, id) record currently held by the node at slot s;
+  // the sorting network permutes records across position-holders.
+  std::vector<Record> rec(n);
+  for (Slot s = 0; s < n; ++s) {
+    if (path.member(s)) rec[s] = {key[s], net.id_of(s)};
+  }
+
+  // `first` orders records; the lower comparator end keeps the first.
+  auto first_of = [descending](const Record& a, const Record& b) {
+    if (a.key != b.key) return descending ? a.key > b.key : a.key < b.key;
+    return a.id < b.id;
+  };
+
+  const std::uint64_t n_pow2 = next_pow2(members);
+  const auto stages = batcher_stages(n_pow2);
+
+  // One round per stage: ingest the previous stage's exchange, then send
+  // this stage's. pending_role[s]: 0 = idle, 1 = lower end, 2 = upper end.
+  std::vector<std::uint8_t> pending_role(n, 0);
+  auto ingest = [&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagSortRec) continue;
+      const Record other{m.word(0), m.id_word(1)};
+      if (pending_role[s] == 1) {
+        if (first_of(other, rec[s])) rec[s] = other;
+      } else if (pending_role[s] == 2) {
+        if (first_of(other, rec[s])) {
+          // other is the "first": the upper end keeps the later record,
+          // which is its own — nothing to do.
+        } else {
+          rec[s] = other;
+        }
+      }
+    }
+    pending_role[s] = 0;
+  };
+
+  for (std::size_t si = 0; si <= stages.size(); ++si) {
+    net.round([&](ncc::Ctx& ctx) {
+      const Slot s = ctx.slot();
+      if (!path.member(s)) return;
+      ingest(ctx);
+      if (si == stages.size()) return;  // drain-only round
+      const Stage st = stages[si];
+      const auto pos = static_cast<std::uint64_t>(path.pos[s]);
+      NodeId partner = kNoNode;
+      if (is_lower_end(pos, st, n_pow2) && pos + st.k < members) {
+        pending_role[s] = 1;
+        partner = skip.fwd[static_cast<std::size_t>(floor_log2(st.k))][s];
+      } else if (pos >= st.k && is_lower_end(pos - st.k, st, n_pow2)) {
+        pending_role[s] = 2;
+        partner = skip.bwd[static_cast<std::size_t>(floor_log2(st.k))][s];
+      }
+      if (pending_role[s] != 0) {
+        DGR_CHECK(partner != kNoNode);
+        ctx.send(partner, ncc::make_msg(kTagSortRec)
+                              .push(rec[s].key)
+                              .push_id(rec[s].id));
+      }
+    });
+  }
+
+  finish_rewire(net, path, rec, out);
+  return out;
+}
+
+namespace {
+// Rewiring shared by both sorting networks. R1: each holder shows its final
+// record to its original path neighbours. R2: each holder tells the
+// record's owner its rank and new neighbours. R3: owners ingest. Fills
+// out.path and builds the sorted skip overlay.
+void finish_rewire(ncc::Network& net, const PathOverlay& path,
+                   const std::vector<Record>& rec, SortResult& out) {
+  const std::size_t n = net.n();
+  std::vector<Record> nb_pred(n), nb_succ(n);
+  net.round([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (!path.member(s)) return;
+    auto m = ncc::make_msg(kTagNeighRec).push(rec[s].key).push_id(rec[s].id);
+    if (path.pred[s] != kNoNode) ctx.send(path.pred[s], m);
+    if (path.succ[s] != kNoNode) ctx.send(path.succ[s], m);
+  });
+  net.round([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (!path.member(s)) return;
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagNeighRec) continue;
+      const Record r{m.word(0), m.id_word(1)};
+      if (m.src == path.pred[s]) nb_pred[s] = r;
+      else if (m.src == path.succ[s]) nb_succ[s] = r;
+    }
+    // Tell the owner of my record its rank and sorted-path neighbours.
+    const auto rank = static_cast<std::uint64_t>(path.pos[s]);
+    auto m = ncc::make_msg(kTagNewPos).push(rank);
+    std::uint64_t flags = 0;
+    if (nb_pred[s].id != kNoNode) {
+      m.push_id(nb_pred[s].id);
+      flags |= 1;
+    } else {
+      m.push(0);
+    }
+    if (nb_succ[s].id != kNoNode) {
+      m.push_id(nb_succ[s].id);
+      flags |= 2;
+    } else {
+      m.push(0);
+    }
+    m.push(flags);
+    ctx.send(rec[s].id, m);
+  });
+  net.round([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (!path.member(s)) return;
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagNewPos) continue;
+      out.path.pos[s] = static_cast<Position>(m.word(0));
+      const std::uint64_t flags = m.word(3);
+      out.path.pred[s] = (flags & 1) ? m.id_word(1) : kNoNode;
+      out.path.succ[s] = (flags & 2) ? m.id_word(2) : kNoNode;
+    }
+  });
+
+  // Referee bookkeeping: the new order is read off the final records.
+  for (Slot s = 0; s < n; ++s) {
+    if (!path.member(s)) continue;
+    const auto rank = static_cast<std::size_t>(path.pos[s]);
+    out.path.order[rank] = net.slot_of(rec[s].id);
+  }
+  for (const Slot s : out.path.order) DGR_CHECK(s != kNoSlot);
+
+  out.skip = build_skiplinks(net, out.path);
+}
+}  // namespace
+
+SortResult transposition_sort(ncc::Network& net, const PathOverlay& path,
+                              const std::vector<std::uint64_t>& key,
+                              bool descending) {
+  ncc::ScopedRounds scope(net, "sort_transposition");
+  const std::size_t n = net.n();
+  DGR_CHECK(key.size() == n);
+  const std::size_t members = path.order.size();
+
+  SortResult out;
+  out.path.pred.assign(n, kNoNode);
+  out.path.succ.assign(n, kNoNode);
+  out.path.pos.assign(n, kNoPosition);
+  out.path.is_member = path.is_member;
+  out.path.order.assign(members, kNoSlot);
+  if (members == 0) {
+    out.skip = build_skiplinks(net, out.path);
+    return out;
+  }
+
+  std::vector<Record> rec(n);
+  for (Slot s = 0; s < n; ++s) {
+    if (path.member(s)) rec[s] = {key[s], net.id_of(s)};
+  }
+  auto first_of = [descending](const Record& a, const Record& b) {
+    if (a.key != b.key) return descending ? a.key > b.key : a.key < b.key;
+    return a.id < b.id;
+  };
+
+  // Stage t compares pairs (i, i+1) with i ≡ t (mod 2); `members` stages
+  // suffice (0-1 principle). pending_role: 1 = lower end, 2 = upper end.
+  std::vector<std::uint8_t> pending_role(n, 0);
+  for (std::size_t t = 0; t <= members; ++t) {
+    net.round([&](ncc::Ctx& ctx) {
+      const Slot s = ctx.slot();
+      if (!path.member(s)) return;
+      for (const auto& m : ctx.inbox()) {
+        if (m.tag != kTagSortRec) continue;
+        const Record other{m.word(0), m.id_word(1)};
+        const bool other_first = first_of(other, rec[s]);
+        if ((pending_role[s] == 1 && other_first) ||
+            (pending_role[s] == 2 && !other_first)) {
+          rec[s] = other;
+        }
+      }
+      pending_role[s] = 0;
+      if (t == members) return;  // drain-only round
+      const auto pos = static_cast<std::uint64_t>(path.pos[s]);
+      NodeId partner = kNoNode;
+      if (pos % 2 == t % 2 && path.succ[s] != kNoNode) {
+        pending_role[s] = 1;
+        partner = path.succ[s];
+      } else if (pos >= 1 && (pos - 1) % 2 == t % 2) {
+        pending_role[s] = 2;
+        partner = path.pred[s];
+      }
+      if (pending_role[s] != 0) {
+        DGR_CHECK(partner != kNoNode);
+        ctx.send(partner, ncc::make_msg(kTagSortRec)
+                              .push(rec[s].key)
+                              .push_id(rec[s].id));
+      }
+    });
+  }
+
+  finish_rewire(net, path, rec, out);
+  return out;
+}
+
+}  // namespace dgr::prim

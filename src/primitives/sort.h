@@ -1,0 +1,50 @@
+// Distributed sorting of a path by locally-known keys (paper §3.1.2,
+// Theorem 3).
+//
+// The paper sorts in O(log^3 n) rounds by merging sorted sub-paths over the
+// BBST. We realize the same interface with a Batcher odd-even merge-sort
+// network executed on the position space: every comparator of the network
+// pairs positions exactly 2^k apart, so partners are reachable over the skip
+// overlay; each stage is one compare-exchange round. The network is padded
+// to the next power of two with virtual +inf records — an easy invariant
+// shows those never move, so comparators touching them are skipped. Total:
+// O(log^2 n) deterministic rounds + O(1) rewiring rounds, strictly within
+// the paper's O~(1)-per-phase budget (see DESIGN.md substitutions).
+//
+// Output: every node knows its rank (position in sorted order) and the IDs
+// of its sorted-path neighbours; a fresh skip overlay is built on the new
+// path for follow-up range operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ncc/network.h"
+#include "primitives/path.h"
+#include "primitives/skiplinks.h"
+
+namespace dgr::prim {
+
+struct SortResult {
+  PathOverlay path;  ///< sorted path (pred/succ/pos per node + referee order)
+  SkipOverlay skip;  ///< skip links over the sorted path
+};
+
+/// Sorts the members of `path` by (key, ID) — ascending, or descending keys
+/// with ascending-ID tie-break when `descending` is set. `key[s]` is node
+/// s's locally-known key. Requires path.pos filled (build_bbst) and the
+/// matching skip overlay. Deterministic and capacity-safe.
+SortResult distributed_sort(ncc::Network& net, const PathOverlay& path,
+                            const SkipOverlay& skip,
+                            const std::vector<std::uint64_t>& key,
+                            bool descending);
+
+/// Ablation baseline: odd-even *transposition* sort. Uses only the path
+/// neighbours (no skip links), which is the naive thing to do in NCC0 —
+/// and costs Θ(n) rounds instead of polylog. Same output contract as
+/// distributed_sort; kept for the E2 ablation experiment.
+SortResult transposition_sort(ncc::Network& net, const PathOverlay& path,
+                              const std::vector<std::uint64_t>& key,
+                              bool descending);
+
+}  // namespace dgr::prim

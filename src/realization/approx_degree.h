@@ -1,0 +1,30 @@
+// Approximate realization of (possibly) non-graphic sequences
+// (paper §4.3, Theorem 13): a thin, documented entry point around
+// realize_degrees_explicit in envelope mode.
+//
+// Output graph G realizes an upper envelope D' of the requested D:
+//   (i)  deg_G(v) >= d(v) for every v, and
+//   (ii) sum(D') <= 2 sum(D)   (discrepancy at most sum d_i).
+// Runs in O~(Δ) rounds. Requires d(v) <= n-1 (otherwise even the envelope
+// guarantee is impossible in a simple graph; reported as unrealizable).
+#pragma once
+
+#include "realization/explicit_degree.h"
+#include "realization/implicit_degree.h"
+
+namespace dgr::realize {
+
+/// Explicit upper-envelope realization (Theorem 13).
+ExplicitDegreeResult realize_upper_envelope(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree);
+
+/// The abstract's O~(1) approximate degree realization, in NCC1: after one
+/// feasibility aggregate (d <= n-1 everywhere), every node v locally picks
+/// the d(v) cyclically-next IDs in the common-knowledge sorted ID list as
+/// its stored edges — zero communication. The union graph is an upper
+/// envelope: deg(v) >= d(v) (v's own picks are distinct) and the edge count
+/// is at most sum(d), so sum(D') <= 2 sum(D). Implicit by nature.
+ImplicitDegreeResult realize_upper_envelope_ncc1(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree);
+
+}  // namespace dgr::realize

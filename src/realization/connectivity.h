@@ -1,0 +1,59 @@
+// Connectivity-threshold realization (paper §6).
+//
+// Every node v holds a threshold ρ(v) = max_u σ(u, v); the output overlay G
+// must satisfy Conn_G(u, v) >= min(ρ(u), ρ(v)) with at most twice the
+// optimal number of edges (OPT >= ceil(Σρ / 2) since deg(v) >= ρ(v)).
+//
+// realize_connectivity_ncc1 (§6.1, Theorem 17): O~(1) rounds, implicit.
+//   In NCC1 all IDs are common knowledge, so nodes agree on a complete
+//   binary tree over the ID-sorted order with zero communication; one
+//   argmax aggregation finds the hub w (max ρ), and every v != w locally
+//   picks X_v = {w} ∪ {ρ(v)-1 smallest other IDs} as its stored edges.
+//
+// realize_connectivity_ncc0 (§6.2, Algorithm 6, Theorem 18): O~(Δ) rounds,
+//   explicit, works in NCC0 (and NCC1). Sorts by ρ, realizes the top
+//   d0+1 = ρ_max+1 nodes as a degree sequence via the Theorem 13 envelope
+//   algorithm, then each later node x_i links to its ρ(x_i) predecessors;
+//   finally every implicit edge is made explicit by direct exchange.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ncc/network.h"
+
+namespace dgr::realize {
+
+struct ConnectivityResult {
+  bool realizable = true;  ///< false iff some ρ(v) > n-1
+  /// Aware-side edges (implicit realization).
+  std::vector<std::vector<ncc::NodeId>> stored;
+  /// Both-sides adjacency; filled by the explicit algorithm only.
+  std::vector<std::vector<ncc::NodeId>> adjacency;
+  ncc::NodeId hub = ncc::kNoNode;  ///< NCC1 hub w (max ρ)
+  std::uint64_t rounds = 0;
+};
+
+/// Theorem 17. Requires an NCC1 network (net.is_clique()).
+ConnectivityResult realize_connectivity_ncc1(
+    ncc::Network& net, const std::vector<std::uint64_t>& rho);
+
+/// Theorem 18 / Algorithm 6. Works in NCC0 and NCC1.
+ConnectivityResult realize_connectivity_ncc0(
+    ncc::Network& net, const std::vector<std::uint64_t>& rho);
+
+/// The paper's full problem statement: node v holds the length-n vector
+/// sigma[v] with σ(v, u) for every u (symmetric). Each node reduces its
+/// vector to ρ(v) = max_u σ(v, u) locally (§6: the algorithms guarantee the
+/// stronger Conn(u,v) >= min(ρ(u), ρ(v)) >= σ(u,v)) and runs the ρ
+/// algorithm. sigma[v][u] is indexed by slot; sigma[v][v] is ignored.
+ConnectivityResult realize_connectivity_matrix_ncc0(
+    ncc::Network& net, const std::vector<std::vector<std::uint64_t>>& sigma);
+ConnectivityResult realize_connectivity_matrix_ncc1(
+    ncc::Network& net, const std::vector<std::vector<std::uint64_t>>& sigma);
+
+/// Referee helper for tests: ρ reduction of a σ matrix.
+std::vector<std::uint64_t> rho_from_sigma(
+    const std::vector<std::vector<std::uint64_t>>& sigma);
+
+}  // namespace dgr::realize

@@ -1,0 +1,75 @@
+#include "realization/explicit_degree.h"
+
+#include "primitives/collection.h"
+#include "primitives/reliable.h"
+#include "util/check.h"
+
+namespace dgr::realize {
+
+namespace {
+constexpr std::uint32_t kTagEdgeNotify = 0x110;
+}  // namespace
+
+ExplicitDegreeResult make_explicit(
+    ncc::Network& net, const ImplicitDegreeResult& implicit_result) {
+  ExplicitDegreeResult out;
+  out.realizable = implicit_result.realizable;
+  out.implicit_rounds = implicit_result.rounds;
+  out.phases = implicit_result.phases;
+  const std::size_t n = net.n();
+  out.adjacency.assign(n, {});
+  if (!out.realizable) return out;
+
+  // Aware endpoints start with their stored neighbours; the other side
+  // learns each edge from the notification's sender ID.
+  std::vector<std::vector<prim::DirectSend>> batch(n);
+  for (ncc::Slot s = 0; s < n; ++s) {
+    out.adjacency[s] = implicit_result.stored[s];
+    for (const ncc::NodeId v : implicit_result.stored[s])
+      batch[s].push_back({v, kTagEdgeNotify, 0, false});
+  }
+  out.explicit_rounds = prim::direct_exchange(
+      net, batch,
+      [&](prim::Slot receiver, ncc::NodeId src, std::uint32_t user_tag,
+          std::uint64_t) {
+        if (user_tag == kTagEdgeNotify)
+          out.adjacency[receiver].push_back(src);
+      });
+  return out;
+}
+
+ExplicitDegreeResult realize_degrees_explicit(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    DegreeMode mode) {
+  const ImplicitDegreeResult implicit_result =
+      realize_degrees_implicit(net, degree, mode);
+  return make_explicit(net, implicit_result);
+}
+
+ExplicitDegreeResult make_explicit_reliable(
+    ncc::Network& net, const ImplicitDegreeResult& implicit_result) {
+  ExplicitDegreeResult out;
+  out.realizable = implicit_result.realizable;
+  out.implicit_rounds = implicit_result.rounds;
+  out.phases = implicit_result.phases;
+  const std::size_t n = net.n();
+  out.adjacency.assign(n, {});
+  if (!out.realizable) return out;
+
+  std::vector<std::vector<prim::DirectSend>> batch(n);
+  for (ncc::Slot s = 0; s < n; ++s) {
+    out.adjacency[s] = implicit_result.stored[s];
+    for (const ncc::NodeId v : implicit_result.stored[s])
+      batch[s].push_back({v, kTagEdgeNotify, 0, false});
+  }
+  out.explicit_rounds = prim::reliable_exchange(
+      net, batch,
+      [&](prim::Slot receiver, ncc::NodeId src, std::uint32_t user_tag,
+          std::uint64_t) {
+        if (user_tag == kTagEdgeNotify)
+          out.adjacency[receiver].push_back(src);
+      });
+  return out;
+}
+
+}  // namespace dgr::realize

@@ -1,0 +1,41 @@
+// Explicit degree realization (paper §4.2, Theorem 12).
+//
+// After the implicit phase, each edge (u, v) is known only to one endpoint
+// (say u, which stores v's ID). u simply tells v: the aware sides stream
+// their notifications at Θ(log n)/round with bounce-driven retry, draining
+// in O(m/n + Δ/log n + log n) rounds w.h.p. — Theorem 12's bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ncc/network.h"
+#include "realization/implicit_degree.h"
+
+namespace dgr::realize {
+
+struct ExplicitDegreeResult {
+  bool realizable = true;
+  /// Per-slot full adjacency (both endpoints list every incident edge).
+  std::vector<std::vector<ncc::NodeId>> adjacency;
+  std::uint64_t implicit_rounds = 0;
+  std::uint64_t explicit_rounds = 0;
+  std::uint64_t phases = 0;
+};
+
+/// Converts an implicit realization into an explicit one.
+ExplicitDegreeResult make_explicit(
+    ncc::Network& net, const ImplicitDegreeResult& implicit_result);
+
+/// Convenience: Algorithm 3 + explicitization end-to-end (Theorem 12).
+ExplicitDegreeResult realize_degrees_explicit(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    DegreeMode mode = DegreeMode::kExact);
+
+/// Loss-tolerant explicitization (§8 robustness extension): identical
+/// contract to make_explicit but transported over reliable_exchange, so it
+/// completes exactly-once even when Config::drop_probability > 0.
+ExplicitDegreeResult make_explicit_reliable(
+    ncc::Network& net, const ImplicitDegreeResult& implicit_result);
+
+}  // namespace dgr::realize

@@ -1,0 +1,189 @@
+#include "realization/implicit_degree.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+
+#include "primitives/broadcast.h"
+#include "primitives/range_cast.h"
+#include "primitives/sort.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace dgr::realize {
+
+namespace {
+
+constexpr std::uint32_t kTagStarEdge = 0x100;  // payload = source ID
+
+using prim::PathOverlay;
+using prim::SkipOverlay;
+using prim::TreeOverlay;
+
+}  // namespace
+
+ImplicitDegreeResult realize_degrees_on_path(
+    ncc::Network& net, const prim::PathOverlay& path,
+    const prim::SkipOverlay& skip, const prim::TreeOverlay& agg_tree,
+    const std::vector<std::uint64_t>& degree, DegreeMode mode) {
+  ncc::ScopedRounds total_scope(net, "degree_realization");
+  const std::uint64_t start_rounds = net.stats().rounds;
+  const std::size_t n = net.n();
+  DGR_CHECK(degree.size() == n);
+  const std::size_t members = path.order.size();
+
+  ImplicitDegreeResult result;
+  result.stored.assign(n, {});
+
+  // Residual degrees; non-members carry 0 so shared aggregations see
+  // identity values.
+  std::vector<std::uint64_t> residual(n, 0);
+  std::uint64_t degree_sum = 0;
+  bool too_large = false;
+  for (const ncc::Slot s : path.order) {
+    residual[s] = degree[s];
+    degree_sum += degree[s];
+    if (degree[s] + 1 > members) too_large = true;
+  }
+  // d_i > |path|-1 can never be met by a simple graph on the members; in
+  // exact mode this is Unrealizable, and the envelope guarantee is equally
+  // impossible, so both modes report failure. In-model every node can test
+  // its own degree against the (common-knowledge) member count; one
+  // aggregate-OR + broadcast informs everyone. We charge those rounds.
+  {
+    std::vector<std::uint64_t> flag(n, 0);
+    for (const ncc::Slot s : path.order)
+      flag[s] = residual[s] + 1 > members ? 1 : 0;
+    const std::uint64_t any = prim::aggregate_and_broadcast(
+        net, agg_tree, flag, prim::comb_or);
+    DGR_CHECK(static_cast<bool>(any) == too_large);
+    if (any != 0) {
+      result.realizable = false;
+      result.rounds = net.stats().rounds - start_rounds;
+      return result;
+    }
+  }
+
+  // Lemma 10 guard: generous multiple of min{√(2m), 2Δ} phases.
+  std::uint64_t max_deg = 0;
+  for (const ncc::Slot s : path.order)
+    max_deg = std::max(max_deg, residual[s]);
+  const std::uint64_t phase_guard =
+      8 + 4 * std::min<std::uint64_t>(2 * max_deg + 2,
+                                      2 * isqrt(degree_sum) + 2);
+
+  PathOverlay cur_path = path;
+  SkipOverlay cur_skip = skip;
+  // Node-local underflow flags ("my residual would go negative").
+  std::vector<std::uint64_t> underflow(n, 0);
+  // Retired sources must sort after everything else with the same residual
+  // (in particular after never-sourced zero-residual nodes). Otherwise an
+  // envelope-mode member range can contain a retired source that is already
+  // the new source's neighbour, recreating the edge — a corner the paper's
+  // Theorem 13 alteration leaves open. Sorting key: 2·residual + fresh bit.
+  std::vector<std::uint8_t> has_sourced(n, 0);
+  // Referee edge set for the duplicate diagnostic (mutex: deliveries can
+  // run from parallel round-body threads).
+  std::unordered_set<std::uint64_t> referee_edges;
+  std::mutex referee_mu;
+
+  while (true) {
+    DGR_CHECK_MSG(result.phases <= phase_guard,
+                  "phase budget exceeded — Lemma 10 violated?");
+    ++result.phases;
+
+    // Step 1: sort by residual degree, non-increasing (retired last).
+    std::vector<std::uint64_t> sort_key(n, 0);
+    for (const ncc::Slot s : cur_path.order)
+      sort_key[s] = 2 * residual[s] + (has_sourced[s] ? 0 : 1);
+    prim::SortResult sorted =
+        prim::distributed_sort(net, cur_path, cur_skip, sort_key,
+                               /*descending=*/true);
+    cur_path = std::move(sorted.path);
+    cur_skip = std::move(sorted.skip);
+
+    // Step 2: broadcast δ = current maximum degree.
+    const std::uint64_t delta = prim::aggregate_and_broadcast(
+        net, agg_tree, residual, prim::comb_max);
+    if (delta == 0) break;  // everyone satisfied
+
+    // Step 3: broadcast N = number of nodes with degree δ.
+    std::vector<std::uint64_t> indicator(n, 0);
+    for (const ncc::Slot s : cur_path.order)
+      indicator[s] = residual[s] == delta ? 1 : 0;
+    const std::uint64_t big_n = prim::aggregate_and_broadcast(
+        net, agg_tree, indicator, prim::comb_sum);
+    const std::uint64_t q =
+        std::max<std::uint64_t>(1, big_n / (delta + 1));
+
+    // Step 4: q parallel star groups. Group α (0-based) has its source at
+    // position α(δ+1) and members at the next δ positions. Every node
+    // derives its role from its own position and the broadcast (δ, N).
+    std::vector<std::vector<prim::RangeCastTask>> tasks(n);
+    for (const ncc::Slot s : cur_path.order) {
+      const auto pos = static_cast<std::uint64_t>(cur_path.pos[s]);
+      if (pos % (delta + 1) != 0) continue;
+      if (pos / (delta + 1) >= q) continue;
+      // Source: multicast my ID to my δ successors, then retire.
+      prim::RangeCastTask t;
+      t.lo = static_cast<prim::Position>(pos + 1);
+      t.hi = static_cast<prim::Position>(pos + delta);
+      DGR_CHECK_MSG(t.hi < static_cast<prim::Position>(members),
+                    "star group exceeds path (degree too large)");
+      t.user_tag = kTagStarEdge;
+      t.payload = net.id_of(s);
+      t.payload_is_id = true;
+      tasks[s].push_back(t);
+      residual[s] = 0;  // NIL: the source is satisfied by construction
+      has_sourced[s] = 1;
+    }
+
+    prim::range_multicast(
+        net, cur_path, cur_skip, tasks,
+        [&](prim::Slot receiver, std::uint32_t user_tag,
+            std::uint64_t payload) {
+          if (user_tag != kTagStarEdge) return;
+          result.stored[receiver].push_back(static_cast<ncc::NodeId>(payload));
+          if (residual[receiver] == 0) {
+            // Would go negative: not graphic (exact) / absorb (envelope).
+            if (mode == DegreeMode::kExact) underflow[receiver] = 1;
+          } else {
+            --residual[receiver];
+          }
+          // Referee diagnostic (not visible to nodes): duplicate creation.
+          const ncc::Slot src = net.slot_of(payload);
+          const std::uint64_t lo = std::min<std::uint64_t>(src, receiver);
+          const std::uint64_t hi = std::max<std::uint64_t>(src, receiver);
+          std::scoped_lock lk(referee_mu);
+          if (!referee_edges.insert((lo << 32) | hi).second)
+            ++result.duplicate_edges;
+        });
+
+    // Step 5: one aggregate-OR tells everyone whether any residual went
+    // negative (the paper's Unrealizable broadcast).
+    if (mode == DegreeMode::kExact) {
+      const std::uint64_t any = prim::aggregate_and_broadcast(
+          net, agg_tree, underflow, prim::comb_or);
+      if (any != 0) {
+        result.realizable = false;
+        break;
+      }
+    }
+  }
+
+  result.rounds = net.stats().rounds - start_rounds;
+  return result;
+}
+
+ImplicitDegreeResult realize_degrees_implicit(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    DegreeMode mode) {
+  // Bootstrap: undirect Gk, build the BBST (positions), skip links.
+  PathOverlay path = prim::undirect_initial_path(net);
+  TreeOverlay tree = prim::build_bbst(net, path);
+  SkipOverlay skip = prim::build_skiplinks(net, path);
+  return realize_degrees_on_path(net, path, skip, tree, degree, mode);
+}
+
+}  // namespace dgr::realize

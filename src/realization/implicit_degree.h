@@ -1,0 +1,61 @@
+// Distributed degree-sequence realization (paper §4.1, Algorithm 3,
+// Theorem 11; §4.3 Theorem 13 for the approximate variant).
+//
+// The algorithm is a parallel Havel–Hakimi: each phase sorts the path by
+// residual degree, broadcasts the maximum δ and the count N of nodes at the
+// maximum, forms q = max(1, ⌊N/(δ+1)⌋) star groups over the first q(δ+1)
+// sorted positions, and satisfies the q sources simultaneously (each source
+// multicasts its ID to the next δ positions, which store the implicit edge
+// and decrement). Lemma 10 bounds the phase count by O(min{√m, Δ}); a phase
+// costs O~(1) rounds, giving Theorem 11's O~(min{√m, Δ}).
+//
+// kExact mode: a residual going negative means the sequence is not graphic —
+// every node learns Unrealizable and the algorithm stops.
+// kEnvelope mode (Theorem 13): negative residuals clamp to zero instead; the
+// output realizes an upper envelope D' >= D with sum(D') <= 2 sum(D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ncc/network.h"
+#include "primitives/bbst.h"
+#include "primitives/path.h"
+#include "primitives/skiplinks.h"
+
+namespace dgr::realize {
+
+enum class DegreeMode {
+  kExact,     ///< fail on non-graphic input (Theorem 11)
+  kEnvelope,  ///< realize an upper envelope (Theorem 13)
+};
+
+struct ImplicitDegreeResult {
+  bool realizable = true;     ///< false only in kExact mode
+  /// Per-slot neighbour IDs on the aware side (implicit realization).
+  std::vector<std::vector<ncc::NodeId>> stored;
+  std::uint64_t phases = 0;
+  std::uint64_t rounds = 0;   ///< simulator rounds consumed by this call
+  /// Referee diagnostic: edges created twice (once per side). Conjectured
+  /// (and empirically validated) to be zero thanks to the retired-last sort
+  /// key; see DESIGN.md on the Theorem 13 corner case.
+  std::uint64_t duplicate_edges = 0;
+};
+
+/// Runs Algorithm 3 from the initial NCC0 path. degree[s] is node s's
+/// locally-known requested degree; any entry > n-1 makes the input
+/// trivially unrealizable (reported, not thrown).
+ImplicitDegreeResult realize_degrees_implicit(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    DegreeMode mode = DegreeMode::kExact);
+
+/// Core used by Algorithm 6 phase 1: runs on an existing (sub-)path with its
+/// skip overlay and a spanning aggregation tree (which may span more nodes
+/// than the path — non-members contribute identity values). Degrees of
+/// non-members are ignored; results are confined to members.
+ImplicitDegreeResult realize_degrees_on_path(
+    ncc::Network& net, const prim::PathOverlay& path,
+    const prim::SkipOverlay& skip, const prim::TreeOverlay& agg_tree,
+    const std::vector<std::uint64_t>& degree, DegreeMode mode);
+
+}  // namespace dgr::realize

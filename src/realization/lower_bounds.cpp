@@ -1,0 +1,37 @@
+#include "realization/lower_bounds.h"
+
+#include <algorithm>
+
+#include "ncc/message.h"
+#include "util/math_util.h"
+
+namespace dgr::realize {
+
+std::uint64_t ids_per_message() { return ncc::kMaxWords + 1; }
+
+std::uint64_t knowledge_round_lower_bound(const ncc::Network& net) {
+  const std::uint64_t intake =
+      static_cast<std::uint64_t>(net.capacity()) * ids_per_message();
+  std::uint64_t best = 0;
+  for (ncc::Slot s = 0; s < net.n(); ++s) {
+    const std::uint64_t known = net.knowledge_size(s);
+    // Initial knowledge: self plus at most one path successor.
+    const std::uint64_t learned = known > 2 ? known - 2 : 0;
+    best = std::max(best, ceil_div(learned, intake));
+  }
+  return best;
+}
+
+std::uint64_t explicit_info_bound(std::uint64_t max_degree, int capacity) {
+  const std::uint64_t intake =
+      static_cast<std::uint64_t>(capacity) * ids_per_message();
+  return ceil_div(max_degree, intake);
+}
+
+std::uint64_t sqrt_m_info_bound(std::uint64_t m, int capacity) {
+  const std::uint64_t intake =
+      static_cast<std::uint64_t>(capacity) * ids_per_message();
+  return ceil_div(isqrt(m), intake);
+}
+
+}  // namespace dgr::realize

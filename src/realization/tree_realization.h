@@ -1,0 +1,35 @@
+// Tree realization of degree sequences (paper §5).
+//
+// realize_tree_caterpillar — Algorithm 4: non-leaves form a spine in sorted
+// order; every non-leaf attaches its leaves from a contiguous block computed
+// by a distributed prefix sum. O(polylog n) rounds; maximum-diameter
+// realization. (The paper's line 2 tests Σd ≠ 2(n−2); the correct tree
+// condition is Σd = 2(n−1) — we implement the correct test, see DESIGN.md.)
+//
+// realize_tree_greedy — Algorithm 5: the distributed greedy tree T_G of
+// [Smith–Székely–Wang]; Lemma 15/Theorem 16: minimum-diameter realization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ncc/network.h"
+
+namespace dgr::realize {
+
+struct TreeRealizationResult {
+  bool realizable = true;
+  /// Per-slot neighbour IDs on the aware side (implicit tree realization).
+  std::vector<std::vector<ncc::NodeId>> stored;
+  std::uint64_t rounds = 0;
+};
+
+/// Algorithm 4 (maximum-diameter caterpillar).
+TreeRealizationResult realize_tree_caterpillar(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree);
+
+/// Algorithm 5 (minimum-diameter greedy tree).
+TreeRealizationResult realize_tree_greedy(
+    ncc::Network& net, const std::vector<std::uint64_t>& degree);
+
+}  // namespace dgr::realize

@@ -1,0 +1,94 @@
+#include "realization/validate.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dgr::realize {
+
+graph::Graph graph_from_stored(
+    const ncc::Network& net,
+    const std::vector<std::vector<ncc::NodeId>>& stored) {
+  graph::Graph g(net.n());
+  for (ncc::Slot s = 0; s < stored.size(); ++s) {
+    for (const ncc::NodeId id : stored[s]) {
+      g.add_edge(static_cast<graph::Vertex>(s),
+                 static_cast<graph::Vertex>(net.slot_of(id)));
+    }
+  }
+  return g;
+}
+
+Validation validate_degree_realization(
+    const ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    const std::vector<std::vector<ncc::NodeId>>& stored) {
+  DGR_CHECK(degree.size() == net.n() && stored.size() == net.n());
+  // No edge may be stored twice (once per side or twice on one side).
+  std::size_t stored_count = 0;
+  for (const auto& lst : stored) stored_count += lst.size();
+  const graph::Graph g = graph_from_stored(net, stored);
+  if (g.m() != stored_count) {
+    std::ostringstream os;
+    os << "duplicate or self edges: " << stored_count << " stored vs "
+       << g.m() << " distinct";
+    return Validation::fail(os.str());
+  }
+  for (ncc::Slot s = 0; s < net.n(); ++s) {
+    if (g.degree(static_cast<graph::Vertex>(s)) != degree[s]) {
+      std::ostringstream os;
+      os << "slot " << s << " realized degree "
+         << g.degree(static_cast<graph::Vertex>(s)) << " != requested "
+         << degree[s];
+      return Validation::fail(os.str());
+    }
+  }
+  return Validation::pass();
+}
+
+Validation validate_explicit_adjacency(
+    const ncc::Network& net,
+    const std::vector<std::vector<ncc::NodeId>>& stored,
+    const std::vector<std::vector<ncc::NodeId>>& adjacency) {
+  DGR_CHECK(adjacency.size() == net.n());
+  const graph::Graph implicit = graph_from_stored(net, stored);
+  const graph::Graph explicit_g = graph_from_stored(net, adjacency);
+  if (implicit.m() != explicit_g.m())
+    return Validation::fail("explicit edge set differs from implicit");
+
+  // Symmetry: u lists v iff v lists u; and matches the implicit edges.
+  for (ncc::Slot s = 0; s < net.n(); ++s) {
+    const auto v = static_cast<graph::Vertex>(s);
+    if (adjacency[s].size() != implicit.degree(v))
+      return Validation::fail("adjacency list length != implicit degree");
+    for (const ncc::NodeId id : adjacency[s]) {
+      const auto u = static_cast<graph::Vertex>(net.slot_of(id));
+      if (!implicit.has_edge(v, u))
+        return Validation::fail("explicit edge absent from implicit set");
+    }
+  }
+  return Validation::pass();
+}
+
+Validation validate_upper_envelope(
+    const ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    const std::vector<std::vector<ncc::NodeId>>& stored) {
+  DGR_CHECK(degree.size() == net.n() && stored.size() == net.n());
+  const graph::Graph g = graph_from_stored(net, stored);
+  std::uint64_t total_req = 0;
+  std::uint64_t total_real = 0;
+  for (ncc::Slot s = 0; s < net.n(); ++s) {
+    const auto dv = g.degree(static_cast<graph::Vertex>(s));
+    if (dv < degree[s]) {
+      std::ostringstream os;
+      os << "slot " << s << " envelope violated: " << dv << " < " << degree[s];
+      return Validation::fail(os.str());
+    }
+    total_req += degree[s];
+    total_real += dv;
+  }
+  if (total_real > 2 * total_req)
+    return Validation::fail("discrepancy exceeds sum of degrees");
+  return Validation::pass();
+}
+
+}  // namespace dgr::realize

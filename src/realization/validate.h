@@ -1,0 +1,49 @@
+// Referee-side validation of realization outputs against their
+// specifications. Everything here reads global state and is never part of
+// the distributed protocols.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ncc/network.h"
+
+namespace dgr::realize {
+
+/// Outcome of a validation; `ok` plus a human-readable reason on failure.
+struct Validation {
+  bool ok = true;
+  std::string message;
+
+  static Validation pass() { return {}; }
+  static Validation fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+/// Builds the realized graph from per-slot neighbour-ID lists (the "aware"
+/// side of each implicit edge). Vertex i of the result is slot i.
+graph::Graph graph_from_stored(
+    const ncc::Network& net,
+    const std::vector<std::vector<ncc::NodeId>>& stored);
+
+/// Implicit degree realization: every slot's realized degree equals
+/// degree[slot], the graph is simple (enforced by construction, re-checked),
+/// and no edge is stored twice.
+Validation validate_degree_realization(
+    const ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    const std::vector<std::vector<ncc::NodeId>>& stored);
+
+/// Explicit realization: adjacency lists are symmetric (u lists v iff v
+/// lists u) and match the implicit edge set.
+Validation validate_explicit_adjacency(
+    const ncc::Network& net,
+    const std::vector<std::vector<ncc::NodeId>>& stored,
+    const std::vector<std::vector<ncc::NodeId>>& adjacency);
+
+/// Upper-envelope realization (Theorem 13): realized degree >= requested
+/// everywhere and total realized degree <= 2 * total requested.
+Validation validate_upper_envelope(
+    const ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    const std::vector<std::vector<ncc::NodeId>>& stored);
+
+}  // namespace dgr::realize

@@ -1,0 +1,46 @@
+#include "seq/caterpillar.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+
+namespace dgr::seq {
+
+std::optional<graph::Graph> caterpillar_tree(graph::DegreeSequence d) {
+  if (!graph::tree_realizable(d)) return std::nullopt;
+  std::sort(d.begin(), d.end(), std::greater<>());
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  if (n == 1) return g;
+
+  // k non-leaves occupy positions [0, k); the spine is x_0 .. x_k (the last
+  // spine vertex is the first leaf). Each x_i then takes d_i - 2 leaves
+  // (d_0 - 1 for the head), matching Algorithm 4's prefix-sum layout.
+  const std::size_t k = static_cast<std::size_t>(
+      std::count_if(d.begin(), d.end(),
+                    [](std::uint64_t di) { return di > 1; }));
+  if (k == 0) {
+    // Only possible for n == 2 (two degree-1 vertices).
+    DGR_CHECK(n == 2);
+    g.add_edge(0, 1);
+    return g;
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    g.add_edge(static_cast<graph::Vertex>(i),
+               static_cast<graph::Vertex>(i + 1));
+
+  std::size_t next_leaf = k + 1;  // position k is spine-attached already
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t want = d[i] - (i == 0 ? 1 : 2);
+    for (std::uint64_t c = 0; c < want; ++c) {
+      DGR_CHECK_MSG(next_leaf < n, "caterpillar ran out of leaves");
+      g.add_edge(static_cast<graph::Vertex>(i),
+                 static_cast<graph::Vertex>(next_leaf++));
+    }
+  }
+  DGR_CHECK_MSG(next_leaf == n, "caterpillar left leaves unattached");
+  return g;
+}
+
+}  // namespace dgr::seq

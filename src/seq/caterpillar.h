@@ -1,0 +1,18 @@
+// Sequential caterpillar construction — the baseline for the paper's first
+// tree-realization algorithm (Algorithm 4): non-leaf vertices form a spine
+// in non-increasing degree order; leaves hang off the spine. Produces the
+// *maximum*-diameter realization of the sequence.
+#pragma once
+
+#include <optional>
+
+#include "graph/degree_sequence.h"
+#include "graph/graph.h"
+
+namespace dgr::seq {
+
+/// Builds the caterpillar for a tree-realizable sequence (vertex labels are
+/// positions in the sorted non-increasing order); nullopt otherwise.
+std::optional<graph::Graph> caterpillar_tree(graph::DegreeSequence d);
+
+}  // namespace dgr::seq

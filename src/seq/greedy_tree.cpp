@@ -1,0 +1,41 @@
+#include "seq/greedy_tree.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/tree_metrics.h"
+#include "util/check.h"
+
+namespace dgr::seq {
+
+std::optional<graph::Graph> greedy_tree(graph::DegreeSequence d) {
+  if (!graph::tree_realizable(d)) return std::nullopt;
+  std::sort(d.begin(), d.end(), std::greater<>());
+  const std::size_t n = d.size();
+  graph::Graph g(n);
+  if (n == 1) return g;
+
+  // BFS-order attachment: vertex i (in sorted order) adopts the next
+  // unattached vertices as children; the root adopts d[0], everyone else
+  // d[i] - 1 (one edge goes to the parent).
+  std::size_t next_child = 1;
+  for (std::size_t i = 0; i < n && next_child < n; ++i) {
+    const std::uint64_t want = d[i] - (i == 0 ? 0 : 1);
+    for (std::uint64_t c = 0; c < want; ++c) {
+      DGR_CHECK_MSG(next_child < n, "greedy tree ran out of vertices");
+      g.add_edge(static_cast<graph::Vertex>(i),
+                 static_cast<graph::Vertex>(next_child++));
+    }
+  }
+  DGR_CHECK_MSG(next_child == n, "greedy tree left vertices unattached");
+  return g;
+}
+
+std::optional<std::uint64_t> min_tree_diameter(
+    const graph::DegreeSequence& d) {
+  auto t = greedy_tree(d);
+  if (!t) return std::nullopt;
+  return graph::tree_diameter(*t);
+}
+
+}  // namespace dgr::seq

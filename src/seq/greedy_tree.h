@@ -1,0 +1,25 @@
+// Sequential greedy tree T_G of Smith–Székely–Wang [30] (paper §5,
+// Algorithm 5's sequential ancestor): place high-degree vertices as close to
+// the root as possible. Lemma 15: T_G attains the minimum diameter over all
+// trees realizing the degree sequence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/degree_sequence.h"
+#include "graph/graph.h"
+
+namespace dgr::seq {
+
+/// Builds T_G for a tree-realizable sequence (vertex labels are positions in
+/// the *sorted non-increasing* order, matching the distributed output);
+/// nullopt if not tree-realizable.
+std::optional<graph::Graph> greedy_tree(graph::DegreeSequence d);
+
+/// Minimum possible diameter for the sequence = diameter of T_G;
+/// nullopt if not tree-realizable.
+std::optional<std::uint64_t> min_tree_diameter(
+    const graph::DegreeSequence& d);
+
+}  // namespace dgr::seq

@@ -1,0 +1,21 @@
+// The classical sequential Havel–Hakimi algorithm (paper §3.3) — both the
+// graphic test and a realizing-graph construction. Serves as the baseline
+// the distributed algorithms are derived from and as a correctness oracle.
+#pragma once
+
+#include <optional>
+
+#include "graph/degree_sequence.h"
+#include "graph/graph.h"
+
+namespace dgr::seq {
+
+/// Havel–Hakimi graphic test (independent of the Erdős–Gallai test in
+/// graph/degree_sequence.h; tests cross-check them). O(m log n).
+bool hh_graphic(graph::DegreeSequence d);
+
+/// Builds a graph realizing d (vertex i has degree d[i]) or nullopt if d is
+/// not graphic. O(m log n) via a max-heap of residual degrees.
+std::optional<graph::Graph> hh_realize(const graph::DegreeSequence& d);
+
+}  // namespace dgr::seq

@@ -1,0 +1,46 @@
+// Lightweight runtime-check macros used across the library.
+//
+// DGR_CHECK fires in every build type: the simulator uses it to enforce model
+// rules (knowledge, capacity), where silently continuing would invalidate a
+// simulation. Failures throw dgr::CheckError so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dgr {
+
+/// Thrown when a DGR_CHECK fails. Carries the failing expression and context.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DGR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace dgr
+
+#define DGR_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::dgr::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define DGR_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg; /* NOLINT */                                         \
+      ::dgr::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                  \
+  } while (false)

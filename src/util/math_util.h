@@ -1,0 +1,50 @@
+// Small integer math helpers shared by the simulator and the algorithms.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace dgr {
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr int ceil_log2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return 64 - std::countl_zero(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr int floor_log2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return 63 - std::countl_zero(x);
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return std::uint64_t{1} << ceil_log2(x < 1 ? 1 : x);
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Integer square root: largest r with r*r <= x.
+constexpr std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  // Newton from above is monotone decreasing until it reaches the floor,
+  // where it can two-cycle — stop at the first non-decrease.
+  std::uint64_t r = static_cast<std::uint64_t>(1)
+                    << ((floor_log2(x) / 2) + 1);
+  while (true) {
+    const std::uint64_t next = (r + x / r) / 2;
+    if (next >= r) break;
+    r = next;
+  }
+  // Final adjustment via division (overflow-safe for the full u64 range).
+  while (r > 1 && r > x / r) --r;
+  while ((r + 1) <= x / (r + 1)) ++r;
+  return r;
+}
+
+}  // namespace dgr

@@ -1,0 +1,63 @@
+// Deterministic, splittable pseudo-random generator.
+//
+// The simulator needs reproducible randomness that is independent of
+// execution order: each node owns its own stream derived from
+// (master seed, node slot), and the delivery layer derives per-round streams
+// from (master seed, round). We use SplitMix64 for seeding and xoshiro256**
+// for the streams — fast, high-quality, and trivially splittable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dgr {
+
+/// SplitMix64 step; used for seeding and hashing small tuples.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mix of up to three words into one; used to derive stream seeds.
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+                       std::uint64_t c = 0xbf58476d1ce4e5b9ULL);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) using Lemire's method; bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli(p).
+  bool chance(double p);
+
+  /// Derive an independent child stream (stable for the same index).
+  Rng split(std::uint64_t index) const;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dgr

@@ -1,0 +1,37 @@
+#include "util/stats_accum.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dgr {
+
+void StatsAccum::add(double x) {
+  if (samples_.empty()) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (x - mean_);
+}
+
+double StatsAccum::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double StatsAccum::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace dgr

@@ -1,0 +1,33 @@
+// Streaming statistics accumulator (Welford) plus simple percentile support.
+// Used by the benchmark harness to summarize round counts across trials.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dgr {
+
+/// Accumulates samples and reports count/mean/stddev/min/max/percentiles.
+class StatsAccum {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return mean_; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// p in [0, 100]; nearest-rank on the sorted sample set.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dgr

@@ -1,0 +1,39 @@
+// ASCII + CSV table printer used by benches and examples to emit the
+// paper-style result rows (EXPERIMENTS.md is assembled from these).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dgr {
+
+/// Column-aligned ASCII table with an optional title; also serializes to CSV.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; resets nothing else.
+  void header(std::vector<std::string> cols);
+
+  /// Appends a data row (stringified by the caller or via the helper).
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with sensible precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  std::string csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dgr

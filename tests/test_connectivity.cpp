@@ -1,0 +1,140 @@
+// §6: connectivity-threshold realizations (Theorems 17 and 18).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/maxflow.h"
+#include "realization/connectivity.h"
+#include "realization/validate.h"
+#include "seq/connectivity_baseline.h"
+#include "testing.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr::realize {
+namespace {
+
+void expect_thresholds_met(const ncc::Network& net,
+                           const std::vector<std::uint64_t>& rho,
+                           const std::vector<std::vector<ncc::NodeId>>& stored,
+                           std::uint64_t seed) {
+  const graph::Graph g = graph_from_stored(net, stored);
+  // 2-approximation in edge count.
+  EXPECT_LE(g.m(), 2 * seq::connectivity_edge_lower_bound(rho));
+  Rng rng(seed);
+  const auto violation = seq::find_threshold_violation(g, rho, rng);
+  EXPECT_FALSE(violation.has_value())
+      << "Conn(" << violation->first << "," << violation->second
+      << ") below min-threshold";
+}
+
+class Ncc1Sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(Ncc1Sweep, ImplicitRealizationMeetsThresholds) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed * 7 + n);
+  const auto rho =
+      graph::uniform_thresholds(n, std::min<std::uint64_t>(n - 1, 10), rng);
+  auto net = testing::make_ncc1(n, seed);
+  const auto result = realize_connectivity_ncc1(net, rho);
+  ASSERT_TRUE(result.realizable);
+  expect_thresholds_met(net, rho, result.stored, seed);
+
+  // Theorem 17: O~(1) rounds (a couple of tree traversals).
+  EXPECT_LE(result.rounds, 8 * static_cast<std::uint64_t>(ceil_log2(n)) + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Ncc1Sweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 8, 24, 48),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+class Ncc0Sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(Ncc0Sweep, ExplicitRealizationMeetsThresholds) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed * 13 + n);
+  const auto rho =
+      graph::uniform_thresholds(n, std::min<std::uint64_t>(n - 1, 8), rng);
+  auto net = testing::make_ncc0(n, seed);
+  const auto result = realize_connectivity_ncc0(net, rho);
+  ASSERT_TRUE(result.realizable);
+  expect_thresholds_met(net, rho, result.stored, seed);
+
+  // Explicit adjacency must be symmetric and match the implicit edges.
+  const auto v =
+      validate_explicit_adjacency(net, result.stored, result.adjacency);
+  EXPECT_TRUE(v.ok) << v.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Ncc0Sweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 8, 24, 48),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(Connectivity, TieredNetworkNcc0) {
+  const std::size_t n = 40;
+  const auto rho = graph::tiered_thresholds(n, 4, 12, 8, 5, 2);
+  auto net = testing::make_ncc0(n, 5);
+  const auto result = realize_connectivity_ncc0(net, rho);
+  ASSERT_TRUE(result.realizable);
+  expect_thresholds_met(net, rho, result.stored, 5);
+}
+
+TEST(Connectivity, UniformThresholdOne) {
+  // ρ ≡ 1: any connected overlay works; ours must still be 2-approx.
+  const std::size_t n = 30;
+  const std::vector<std::uint64_t> rho(n, 1);
+  auto net = testing::make_ncc0(n, 6);
+  const auto result = realize_connectivity_ncc0(net, rho);
+  ASSERT_TRUE(result.realizable);
+  expect_thresholds_met(net, rho, result.stored, 6);
+}
+
+TEST(Connectivity, MaximalThresholds) {
+  // ρ ≡ n-1 forces (a 2-approx of) the complete graph.
+  const std::size_t n = 12;
+  const std::vector<std::uint64_t> rho(n, n - 1);
+  auto net = testing::make_ncc1(n, 7);
+  const auto result = realize_connectivity_ncc1(net, rho);
+  ASSERT_TRUE(result.realizable);
+  expect_thresholds_met(net, rho, result.stored, 7);
+}
+
+TEST(Connectivity, InfeasibleThresholdRejected) {
+  const std::size_t n = 6;
+  std::vector<std::uint64_t> rho(n, 2);
+  rho[0] = n;  // > n-1
+  auto net0 = testing::make_ncc0(n, 8);
+  EXPECT_FALSE(realize_connectivity_ncc0(net0, rho).realizable);
+  auto net1 = testing::make_ncc1(n, 8);
+  EXPECT_FALSE(realize_connectivity_ncc1(net1, rho).realizable);
+}
+
+TEST(Connectivity, HubIsMaxRho) {
+  const std::size_t n = 20;
+  std::vector<std::uint64_t> rho(n, 3);
+  rho[11] = 15;
+  auto net = testing::make_ncc1(n, 9);
+  const auto result = realize_connectivity_ncc1(net, rho);
+  ASSERT_TRUE(result.realizable);
+  EXPECT_EQ(result.hub, net.id_of(11));
+}
+
+TEST(Connectivity, ZipfThresholdsNcc0) {
+  const std::size_t n = 36;
+  Rng rng(10);
+  const auto rho = graph::zipf_thresholds(n, 12, 2.0, rng);
+  auto net = testing::make_ncc0(n, 10);
+  const auto result = realize_connectivity_ncc0(net, rho);
+  ASSERT_TRUE(result.realizable);
+  expect_thresholds_met(net, rho, result.stored, 10);
+}
+
+}  // namespace
+}  // namespace dgr::realize

@@ -1,0 +1,61 @@
+// Erdős–Gallai, handshake, and tree realizability.
+#include <gtest/gtest.h>
+
+#include "graph/degree_sequence.h"
+
+namespace dgr::graph {
+namespace {
+
+TEST(Handshake, OddSumFails) {
+  EXPECT_FALSE(handshake_ok({3, 2, 2}));
+  EXPECT_TRUE(handshake_ok({2, 2, 2}));
+}
+
+TEST(Handshake, DegreeTooLargeFails) {
+  EXPECT_TRUE(handshake_ok({3, 1, 1, 1, 0}));  // 3 <= n-1 = 4
+  EXPECT_FALSE(handshake_ok({4, 2, 1, 1}));    // 4 > n-1 = 3
+}
+
+TEST(ErdosGallai, ClassicCases) {
+  EXPECT_TRUE(erdos_gallai_graphic({}));
+  EXPECT_TRUE(erdos_gallai_graphic({0}));
+  EXPECT_TRUE(erdos_gallai_graphic({1, 1}));
+  EXPECT_FALSE(erdos_gallai_graphic({1, 0}));
+  EXPECT_TRUE(erdos_gallai_graphic({2, 2, 2}));          // triangle
+  EXPECT_TRUE(erdos_gallai_graphic({3, 3, 3, 3}));       // K4
+  EXPECT_FALSE(erdos_gallai_graphic({3, 3, 1, 1}));      // fails EG at k=2
+  EXPECT_TRUE(erdos_gallai_graphic({3, 2, 2, 2, 1}));
+  EXPECT_FALSE(erdos_gallai_graphic({4, 4, 4, 1, 1}));   // not graphic
+  EXPECT_TRUE(erdos_gallai_graphic({5, 5, 5, 5, 5, 5}));  // K6
+}
+
+TEST(ErdosGallai, UnsortedInputAccepted) {
+  EXPECT_TRUE(erdos_gallai_graphic({1, 3, 2, 2, 2}));
+  EXPECT_FALSE(erdos_gallai_graphic({1, 3, 3, 1}));
+}
+
+TEST(TreeRealizable, Conditions) {
+  EXPECT_TRUE(tree_realizable({0}));            // n = 1
+  EXPECT_FALSE(tree_realizable({1}));
+  EXPECT_TRUE(tree_realizable({1, 1}));         // single edge
+  EXPECT_TRUE(tree_realizable({2, 1, 1}));      // path
+  EXPECT_TRUE(tree_realizable({3, 1, 1, 1}));   // star
+  EXPECT_TRUE(tree_realizable({2, 2, 1, 1}));   // path on 4 nodes
+  EXPECT_FALSE(tree_realizable({1, 1, 0}));     // zero degree
+  EXPECT_FALSE(tree_realizable({2, 2, 2}));     // cycle, sum = 2n
+}
+
+TEST(TreeRealizable, PathAndCaterpillar) {
+  EXPECT_TRUE(tree_realizable({2, 2, 2, 1, 1}));           // path on 5
+  EXPECT_TRUE(tree_realizable({4, 2, 2, 1, 1, 1, 1}));     // caterpillar
+  EXPECT_FALSE(tree_realizable({4, 2, 1, 1, 1, 1, 1, 1})); // sum 12 != 14
+}
+
+TEST(SameMultiset, Works) {
+  EXPECT_TRUE(same_multiset({1, 2, 3}, {3, 1, 2}));
+  EXPECT_FALSE(same_multiset({1, 2, 3}, {1, 2, 2}));
+  EXPECT_FALSE(same_multiset({1, 2}, {1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace dgr::graph

@@ -1,0 +1,109 @@
+// Instance generators: everything claimed graphic/realizable must be.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/degree_sequence.h"
+#include "graph/generators.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr::graph {
+namespace {
+
+TEST(Generators, RegularIsGraphic) {
+  for (const std::size_t n : {2u, 5u, 16u, 101u}) {
+    for (const std::uint64_t d : {0u, 1u, 2u, 3u}) {
+      if (d + 1 > n) continue;
+      const auto seq = regular_sequence(n, d);
+      EXPECT_TRUE(erdos_gallai_graphic(seq)) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(Generators, GnpIsGraphicByConstruction) {
+  Rng rng(3);
+  for (const double p : {0.01, 0.1, 0.5}) {
+    const auto seq = gnp_sequence(200, p, rng);
+    EXPECT_TRUE(erdos_gallai_graphic(seq)) << "p=" << p;
+  }
+}
+
+TEST(Generators, GnpDensityRoughlyMatches) {
+  Rng rng(4);
+  const auto seq = gnp_sequence(500, 0.1, rng);
+  const double avg =
+      static_cast<double>(degree_sum(seq)) / static_cast<double>(seq.size());
+  EXPECT_NEAR(avg, 0.1 * 499, 8.0);
+}
+
+class PowerlawSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PowerlawSweep, RepairedToGraphic) {
+  Rng rng(GetParam());
+  const auto seq = powerlaw_sequence(300, 60, 2.2, rng);
+  EXPECT_TRUE(erdos_gallai_graphic(seq));
+  EXPECT_EQ(seq.size(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerlawSweep,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(Generators, BimodalIsGraphic) {
+  const auto seq = bimodal_sequence(100, 2, 20);
+  EXPECT_TRUE(erdos_gallai_graphic(seq));
+}
+
+TEST(Generators, StarHeavyConcentratesDegrees) {
+  const std::uint64_t m = 2000;
+  const auto seq = star_heavy_sequence(500, m);
+  EXPECT_TRUE(erdos_gallai_graphic(seq));
+  // Non-zero degrees confined to Θ(√m) nodes.
+  const auto nonzero = static_cast<std::uint64_t>(
+      std::count_if(seq.begin(), seq.end(),
+                    [](std::uint64_t d) { return d > 0; }));
+  EXPECT_LE(nonzero, 4 * isqrt(2 * m) + 4);
+  // Edge count near target.
+  EXPECT_GE(degree_sum(seq) / 2, m * 9 / 10);
+}
+
+TEST(Generators, RandomTreeSequenceIsTreeRealizable) {
+  Rng rng(5);
+  for (const std::size_t n : {2u, 3u, 10u, 100u, 999u}) {
+    const auto seq = random_tree_sequence(n, rng);
+    EXPECT_TRUE(tree_realizable(seq)) << "n=" << n;
+  }
+}
+
+TEST(Generators, MakeGraphicRepairsAnything) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.below(50);
+    DegreeSequence d(n);
+    for (auto& x : d) x = rng.below(2 * n);  // wildly infeasible
+    const auto fixed = make_graphic(d);
+    EXPECT_TRUE(erdos_gallai_graphic(fixed));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_LE(fixed[i], d[i]);
+  }
+}
+
+TEST(Generators, ThresholdsWithinRange) {
+  Rng rng(7);
+  const auto u = uniform_thresholds(100, 20, rng);
+  for (const auto r : u) {
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 20u);
+  }
+  const auto z = zipf_thresholds(100, 30, 2.0, rng);
+  for (const auto r : z) {
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 30u);
+  }
+  const auto t = tiered_thresholds(100, 5, 20, 15, 8, 2);
+  EXPECT_EQ(std::count(t.begin(), t.end(), 20u), 5);
+  EXPECT_EQ(std::count(t.begin(), t.end(), 8u), 15);
+  EXPECT_EQ(std::count(t.begin(), t.end(), 2u), 80);
+}
+
+}  // namespace
+}  // namespace dgr::graph

@@ -1,0 +1,86 @@
+// Graph substrate: structure, BFS, trees.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/tree_metrics.h"
+
+namespace dgr::graph {
+namespace {
+
+TEST(Graph, AddEdgeRejectsLoopsAndDuplicates) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate (reversed)
+  EXPECT_FALSE(g.add_edge(2, 2));  // self loop
+  EXPECT_EQ(g.m(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, DegreeSequence) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto d = g.degree_sequence();
+  EXPECT_EQ(d, (std::vector<std::uint64_t>{3, 1, 1, 1}));
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.is_tree());
+  g.add_edge(0, 4);
+  EXPECT_FALSE(g.is_tree());
+}
+
+TEST(Graph, BfsDistances) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 4);
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[4], 1);
+  EXPECT_EQ(d[5], -1);
+}
+
+TEST(TreeMetrics, PathDiameter) {
+  Graph g(6);
+  for (Vertex v = 0; v + 1 < 6; ++v) g.add_edge(v, v + 1);
+  EXPECT_EQ(tree_diameter(g), 5u);
+}
+
+TEST(TreeMetrics, StarDiameter) {
+  Graph g(7);
+  for (Vertex v = 1; v < 7; ++v) g.add_edge(0, v);
+  EXPECT_EQ(tree_diameter(g), 2u);
+}
+
+TEST(TreeMetrics, SingletonAndEdge) {
+  Graph s(1);
+  EXPECT_EQ(tree_diameter(s), 0u);
+  Graph e(2);
+  e.add_edge(0, 1);
+  EXPECT_EQ(tree_diameter(e), 1u);
+}
+
+TEST(TreeMetrics, Eccentricities) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto ecc = eccentricities(g);
+  EXPECT_EQ(ecc, (std::vector<std::uint64_t>{3, 2, 2, 3}));
+}
+
+}  // namespace
+}  // namespace dgr::graph

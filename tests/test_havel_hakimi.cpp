@@ -1,0 +1,66 @@
+// Sequential Havel–Hakimi vs. Erdős–Gallai cross-validation + realization.
+#include <gtest/gtest.h>
+
+#include "graph/degree_sequence.h"
+#include "seq/havel_hakimi.h"
+#include "util/rng.h"
+
+namespace dgr::seq {
+namespace {
+
+using graph::DegreeSequence;
+
+TEST(HavelHakimi, ClassicCases) {
+  EXPECT_TRUE(hh_graphic({}));
+  EXPECT_TRUE(hh_graphic({0, 0}));
+  EXPECT_TRUE(hh_graphic({1, 1}));
+  EXPECT_FALSE(hh_graphic({1}));
+  EXPECT_TRUE(hh_graphic({2, 2, 2}));
+  EXPECT_FALSE(hh_graphic({3, 3, 1, 1}));
+  EXPECT_TRUE(hh_graphic({3, 3, 3, 3}));
+}
+
+TEST(HavelHakimi, RealizationMatchesRequest) {
+  const DegreeSequence d{3, 3, 2, 2, 2, 2};
+  const auto g = hh_realize(d);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->degree_sequence(), d);
+}
+
+TEST(HavelHakimi, NonGraphicReturnsNullopt) {
+  EXPECT_FALSE(hh_realize({3, 1, 1}).has_value());
+  EXPECT_TRUE(hh_realize({5, 1, 1, 1, 1, 1}).has_value());  // star K_{1,5}
+}
+
+class HhEgCross : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HhEgCross, AgreeOnRandomSequences) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.below(24);
+    DegreeSequence d(n);
+    for (auto& x : d) x = rng.below(n + 2);  // sometimes > n-1 (never graphic)
+    const bool eg = graph::erdos_gallai_graphic(d);
+    const bool hh = hh_graphic(d);
+    EXPECT_EQ(eg, hh) << "n=" << n << " trial=" << trial;
+    if (eg) {
+      const auto g = hh_realize(d);
+      ASSERT_TRUE(g.has_value());
+      EXPECT_EQ(g->degree_sequence(), d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HhEgCross,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(HavelHakimi, LargeRegular) {
+  const DegreeSequence d(1000, 6);
+  const auto g = hh_realize(d);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->degree_sequence(), d);
+  EXPECT_EQ(g->m(), 3000u);
+}
+
+}  // namespace
+}  // namespace dgr::seq

@@ -1,0 +1,61 @@
+// §7: information lower bounds and their empirical certificates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "realization/explicit_degree.h"
+#include "realization/implicit_degree.h"
+#include "realization/lower_bounds.h"
+#include "testing.h"
+#include "util/math_util.h"
+
+namespace dgr::realize {
+namespace {
+
+TEST(LowerBounds, ClosedForms) {
+  EXPECT_EQ(explicit_info_bound(0, 8), 0u);
+  EXPECT_EQ(explicit_info_bound(1, 8), 1u);
+  EXPECT_EQ(explicit_info_bound(8 * ids_per_message(), 8), 1u);
+  EXPECT_EQ(explicit_info_bound(8 * ids_per_message() + 1, 8), 2u);
+  EXPECT_EQ(sqrt_m_info_bound(100, 2), ceil_div(10, 2 * ids_per_message()));
+}
+
+TEST(LowerBounds, FreshNetworkCertifiesZero) {
+  auto net = testing::make_ncc0(64, 1);
+  EXPECT_EQ(knowledge_round_lower_bound(net), 0u);
+}
+
+TEST(LowerBounds, MeasuredRoundsDominateCertificate) {
+  // Run the implicit realization on the §7 star-heavy family: the measured
+  // round count must be at least the information bound the run certifies.
+  const std::size_t n = 128;
+  const std::uint64_t m = 512;
+  const auto d = graph::star_heavy_sequence(n, m);
+  auto net = testing::make_ncc0(n, 3);
+  const auto result = realize_degrees_implicit(net, d);
+  ASSERT_TRUE(result.realizable);
+  const std::uint64_t certificate = knowledge_round_lower_bound(net);
+  EXPECT_GE(result.rounds, certificate);
+  EXPECT_GT(certificate, 0u);
+}
+
+TEST(LowerBounds, ExplicitRunCertifiesDeltaIntake) {
+  // Theorem 19's shape: after an explicit realization, the max-degree node
+  // knows at least Δ IDs, certifying Ω(Δ / log n) rounds.
+  const std::size_t n = 64;
+  const std::uint64_t deg = 32;
+  const auto d = graph::regular_sequence(n, deg);
+  auto net = testing::make_ncc0(n, 4);
+  const auto result = realize_degrees_explicit(net, d);
+  ASSERT_TRUE(result.realizable);
+  std::uint64_t max_known = 0;
+  for (ncc::Slot s = 0; s < net.n(); ++s)
+    max_known = std::max<std::uint64_t>(max_known, net.knowledge_size(s));
+  EXPECT_GE(max_known, deg);  // every node must know its Δ neighbours
+  EXPECT_GE(result.implicit_rounds + result.explicit_rounds,
+            explicit_info_bound(deg, net.capacity()));
+}
+
+}  // namespace
+}  // namespace dgr::realize

@@ -1,0 +1,67 @@
+// Message wire-format invariants.
+#include <gtest/gtest.h>
+
+#include "ncc/message.h"
+#include "util/check.h"
+
+namespace dgr::ncc {
+namespace {
+
+TEST(Message, PushAndRead) {
+  auto m = make_msg(42);
+  m.push(7).push_id(1234).push(9);
+  EXPECT_EQ(m.tag, 42u);
+  EXPECT_EQ(m.size, 3);
+  EXPECT_EQ(m.word(0), 7u);
+  EXPECT_EQ(m.word(1), 1234u);
+  EXPECT_EQ(m.word(2), 9u);
+  EXPECT_EQ(m.id_word(1), 1234u);
+  EXPECT_EQ(m.id_mask, 0b010);
+}
+
+TEST(Message, PayloadCapEnforced) {
+  auto m = make_msg(1);
+  for (std::size_t i = 0; i < kMaxWords; ++i) m.push(i);
+  EXPECT_THROW(m.push(99), CheckError);
+  EXPECT_THROW(m.push_id(99), CheckError);
+}
+
+TEST(Message, OutOfRangeReadThrows) {
+  auto m = make_msg(1);
+  m.push(5);
+  EXPECT_THROW(m.word(1), CheckError);
+}
+
+TEST(Message, IdWordRequiresIdFlag) {
+  auto m = make_msg(1);
+  m.push(5);  // plain word
+  EXPECT_THROW(m.id_word(0), CheckError);
+}
+
+TEST(Message, SignedWordRoundTrip) {
+  auto m = make_msg(1);
+  m.push(static_cast<std::uint64_t>(std::int64_t{-1}));
+  EXPECT_EQ(m.sword(0), -1);
+}
+
+TEST(Message, ChainingPreservesOrder) {
+  const auto m = make_msg(3).push(1).push(2).push(3).push(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(m.word(i), i + 1);
+}
+
+TEST(CheckMacros, FireAndCarryContext) {
+  EXPECT_THROW(DGR_CHECK(false), dgr::CheckError);
+  try {
+    DGR_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL();
+  } catch (const dgr::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context 42"),
+              std::string::npos);
+  }
+  // Passing checks are silent.
+  DGR_CHECK(true);
+  DGR_CHECK_MSG(true, "unused");
+}
+
+}  // namespace
+}  // namespace dgr::ncc

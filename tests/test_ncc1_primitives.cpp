@@ -1,0 +1,120 @@
+// Zero-communication NCC1 structures and the σ-matrix interface.
+#include <gtest/gtest.h>
+
+#include "graph/maxflow.h"
+#include "primitives/broadcast.h"
+#include "primitives/ncc1.h"
+#include "primitives/skiplinks.h"
+#include "primitives/sort.h"
+#include "realization/connectivity.h"
+#include "realization/validate.h"
+#include "testing.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+TEST(Ncc1Tree, ZeroRoundsAndAggregates) {
+  auto net = testing::make_ncc1(100, 3);
+  const std::uint64_t before = net.stats().rounds;
+  const auto tree = prim::common_knowledge_tree(net);
+  EXPECT_EQ(net.stats().rounds, before);  // built for free
+  EXPECT_EQ(tree.size(), 100u);
+
+  std::vector<std::uint64_t> v(net.n(), 2);
+  EXPECT_EQ(prim::aggregate_to_root(net, tree, v, prim::comb_sum), 200u);
+}
+
+TEST(Ncc1Tree, RejectsNcc0) {
+  auto net = testing::make_ncc0(8, 4);
+  EXPECT_THROW(prim::common_knowledge_tree(net), CheckError);
+}
+
+TEST(Ncc1Path, SupportsSkipLinksAndSort) {
+  auto net = testing::make_ncc1(64, 5);
+  const std::uint64_t before = net.stats().rounds;
+  prim::PathOverlay path = prim::common_knowledge_path(net);
+  EXPECT_EQ(net.stats().rounds, before);
+  EXPECT_TRUE(prim::validate_path(net, path));
+
+  const auto skip = prim::build_skiplinks(net, path);
+  EXPECT_TRUE(prim::validate_skiplinks(net, path, skip));
+
+  Rng rng(6);
+  std::vector<std::uint64_t> key(net.n());
+  for (auto& k : key) k = rng.below(30);
+  const auto sorted = prim::distributed_sort(net, path, skip, key, true);
+  ASSERT_TRUE(prim::validate_path(net, sorted.path));
+  for (std::size_t i = 0; i + 1 < sorted.path.order.size(); ++i) {
+    const auto a = sorted.path.order[i];
+    const auto b = sorted.path.order[i + 1];
+    EXPECT_TRUE(key[a] > key[b] ||
+                (key[a] == key[b] && net.id_of(a) < net.id_of(b)));
+  }
+}
+
+std::vector<std::vector<std::uint64_t>> random_sigma(std::size_t n,
+                                                     std::uint64_t smax,
+                                                     Rng& rng) {
+  std::vector<std::vector<std::uint64_t>> sigma(
+      n, std::vector<std::uint64_t>(n, 0));
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t u = v + 1; u < n; ++u) {
+      sigma[v][u] = sigma[u][v] = 1 + rng.below(smax);
+    }
+  }
+  return sigma;
+}
+
+TEST(SigmaMatrix, RhoReduction) {
+  std::vector<std::vector<std::uint64_t>> sigma{
+      {0, 3, 1}, {3, 0, 2}, {1, 2, 0}};
+  EXPECT_EQ(realize::rho_from_sigma(sigma),
+            (std::vector<std::uint64_t>{3, 3, 2}));
+}
+
+TEST(SigmaMatrix, AsymmetricRejected) {
+  std::vector<std::vector<std::uint64_t>> sigma{{0, 1}, {2, 0}};
+  EXPECT_THROW(realize::rho_from_sigma(sigma), CheckError);
+}
+
+class SigmaSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SigmaSweep, FullMatrixThresholdsSatisfied) {
+  Rng rng(GetParam());
+  const std::size_t n = 20;
+  const auto sigma = random_sigma(n, 6, rng);
+
+  auto net = testing::make_ncc0(n, GetParam());
+  const auto result = realize::realize_connectivity_matrix_ncc0(net, sigma);
+  ASSERT_TRUE(result.realizable);
+
+  // Verify every pair against σ itself (not just the ρ reduction).
+  const auto g = realize::graph_from_stored(net, result.stored);
+  graph::EdgeConnectivity solver(g);
+  for (graph::Vertex a = 0; a < n; ++a)
+    for (graph::Vertex b = a + 1; b < n; ++b)
+      EXPECT_GE(solver.query(a, b), sigma[a][b])
+          << "pair (" << a << "," << b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SigmaSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(SigmaMatrix, Ncc1VariantSatisfiesSigma) {
+  Rng rng(9);
+  const std::size_t n = 16;
+  const auto sigma = random_sigma(n, 5, rng);
+  auto net = testing::make_ncc1(n, 9);
+  const auto result = realize::realize_connectivity_matrix_ncc1(net, sigma);
+  ASSERT_TRUE(result.realizable);
+  const auto g = realize::graph_from_stored(net, result.stored);
+  graph::EdgeConnectivity solver(g);
+  for (graph::Vertex a = 0; a < n; ++a)
+    for (graph::Vertex b = a + 1; b < n; ++b)
+      EXPECT_GE(solver.query(a, b), sigma[a][b]);
+}
+
+}  // namespace
+}  // namespace dgr

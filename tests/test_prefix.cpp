@@ -1,0 +1,54 @@
+// Distributed prefix sums over the BBST (used by Algorithms 4/5).
+#include <gtest/gtest.h>
+
+#include "primitives/bbst.h"
+#include "primitives/path.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+class PrefixSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(PrefixSweep, MatchesSequentialPrefix) {
+  const auto [n, seed] = GetParam();
+  auto net = testing::make_strict_ncc0(n, seed);
+  prim::PathOverlay path = prim::undirect_initial_path(net);
+  const prim::TreeOverlay tree = prim::build_bbst(net, path);
+
+  Rng rng(seed * 31 + 7);
+  std::vector<std::uint64_t> value(n);
+  for (auto& v : value) v = rng.below(1000);
+
+  const std::uint64_t before = net.stats().rounds;
+  const prim::PrefixSums ps = prim::tree_prefix_sum(net, tree, value);
+  const std::uint64_t rounds = net.stats().rounds - before;
+
+  std::uint64_t running = 0;
+  for (const ncc::Slot s : path.order) {
+    EXPECT_EQ(ps.exclusive[s], running) << "at slot " << s;
+    running += value[s];
+  }
+  EXPECT_EQ(ps.subtree[tree.root], running);
+  EXPECT_LE(rounds, 4 * static_cast<std::uint64_t>(tree.height) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PrefixSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 16, 33, 100, 500),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Prefix, AllZeroValues) {
+  auto net = testing::make_strict_ncc0(20, 9);
+  prim::PathOverlay path = prim::undirect_initial_path(net);
+  const prim::TreeOverlay tree = prim::build_bbst(net, path);
+  const prim::PrefixSums ps =
+      prim::tree_prefix_sum(net, tree, std::vector<std::uint64_t>(20, 0));
+  for (ncc::Slot s = 0; s < 20; ++s) EXPECT_EQ(ps.exclusive[s], 0u);
+}
+
+}  // namespace
+}  // namespace dgr

@@ -1,0 +1,151 @@
+// Scale, fuzz and accounting stress tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "graph/generators.h"
+#include "primitives/bbst.h"
+#include "primitives/path.h"
+#include "primitives/skiplinks.h"
+#include "primitives/sort.h"
+#include "realization/implicit_degree.h"
+#include "realization/validate.h"
+#include "testing.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+TEST(Stress, LargeStrictPrimitivesPipeline) {
+  // n = 20k under *strict* capacity enforcement: the deterministic
+  // primitives must never exceed the model budget at scale.
+  const std::size_t n = 20'000;
+  auto net = testing::make_strict_ncc0(n, 2024);
+  prim::PathOverlay path = prim::undirect_initial_path(net);
+  const prim::TreeOverlay tree = prim::build_bbst(net, path);
+  EXPECT_TRUE(prim::validate_tree(net, tree, path, true));
+  const prim::SkipOverlay skip = prim::build_skiplinks(net, path);
+  EXPECT_TRUE(prim::validate_skiplinks(net, path, skip));
+
+  Rng rng(9);
+  std::vector<std::uint64_t> key(n);
+  for (auto& k : key) k = rng.below(n);
+  const auto sorted = prim::distributed_sort(net, path, skip, key, true);
+  ASSERT_TRUE(prim::validate_path(net, sorted.path));
+  for (std::size_t i = 0; i + 1 < sorted.path.order.size(); ++i) {
+    const auto a = sorted.path.order[i];
+    const auto b = sorted.path.order[i + 1];
+    EXPECT_TRUE(key[a] > key[b] ||
+                (key[a] == key[b] && net.id_of(a) < net.id_of(b)));
+  }
+  // Entire pipeline stayed polylog.
+  EXPECT_LE(net.stats().rounds,
+            6ull * ceil_log2(n) * ceil_log2(n) + 40ull * ceil_log2(n));
+}
+
+TEST(Stress, MidScaleRealizationEndToEnd) {
+  const std::size_t n = 3000;
+  Rng rng(77);
+  const auto d = graph::gnp_sequence(n, 6.0 / static_cast<double>(n), rng);
+  auto net = testing::make_ncc0(n, 77);
+  const auto result = realize::realize_degrees_implicit(net, d);
+  ASSERT_TRUE(result.realizable);
+  const auto v = realize::validate_degree_realization(net, d, result.stored);
+  EXPECT_TRUE(v.ok) << v.message;
+  EXPECT_EQ(result.duplicate_edges, 0u);
+}
+
+TEST(Stress, EnvelopeDuplicateFreeAcrossManyInstances) {
+  // Heavy empirical validation of the DESIGN.md erratum-2 fix: random
+  // non-graphic sequences must never re-create an edge.
+  Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 3 + rng.below(80);
+    std::vector<std::uint64_t> d(n);
+    for (auto& x : d) x = rng.below(n);
+    auto net = testing::make_ncc0(n, 9000 + trial);
+    const auto result = realize::realize_degrees_implicit(
+        net, d, realize::DegreeMode::kEnvelope);
+    ASSERT_TRUE(result.realizable);
+    EXPECT_EQ(result.duplicate_edges, 0u) << "n=" << n << " trial=" << trial;
+    const auto v = realize::validate_upper_envelope(net, d, result.stored);
+    EXPECT_TRUE(v.ok) << v.message;
+  }
+}
+
+TEST(Stress, ImplicitRealizationIsStrictCapacitySafe) {
+  // At moderate degrees the whole Algorithm-3 pipeline (sort + aggregates +
+  // disjoint star groups) keeps every per-round load within the model's
+  // Θ(log n) budget *deterministically* — no bounces needed. (High-Δ
+  // instances lean on the Las-Vegas bounce machinery instead.)
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto net = testing::make_strict_ncc0(256, seed);
+    const auto d = graph::regular_sequence(256, 8);
+    const auto result = realize::realize_degrees_implicit(net, d);
+    ASSERT_TRUE(result.realizable);
+    EXPECT_EQ(net.stats().messages_bounced, 0u);
+  }
+}
+
+TEST(Stress, EngineAccountingInvariant) {
+  // Fuzz: random sends within caps; sent == delivered + bounced + dropped.
+  ncc::Config cfg;
+  cfg.seed = 55;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.drop_probability = 0.15;
+  ncc::Network net(200, cfg);
+  for (int r = 0; r < 50; ++r) {
+    net.round([&](ncc::Ctx& ctx) {
+      const int burst = static_cast<int>(ctx.rng().below(
+          static_cast<std::uint64_t>(ctx.capacity()) + 1));
+      for (int i = 0; i < burst; ++i) {
+        const auto target = static_cast<ncc::Slot>(ctx.rng().below(net.n()));
+        ctx.send(net.id_of(target), ncc::make_msg(1).push(i));
+      }
+    });
+  }
+  net.round([](ncc::Ctx&) {});
+  const auto& st = net.stats();
+  EXPECT_EQ(st.messages_sent,
+            st.messages_delivered + st.messages_bounced +
+                st.messages_dropped);
+  EXPECT_GT(st.messages_dropped, 0u);
+  EXPECT_LE(st.max_send_in_round,
+            static_cast<std::uint64_t>(net.capacity()));
+}
+
+TEST(Stress, ScopeAccountingCoversWholeRun) {
+  const std::size_t n = 128;
+  auto net = testing::make_ncc0(n, 3);
+  const auto d = graph::regular_sequence(n, 4);
+  const auto result = realize::realize_degrees_implicit(net, d);
+  ASSERT_TRUE(result.realizable);
+  // All rounds are attributed to the top-level scope.
+  const auto& scopes = net.stats().scope_rounds;
+  ASSERT_TRUE(scopes.contains("degree_realization"));
+  EXPECT_GE(scopes.at("degree_realization") + 64, net.stats().rounds);
+  // And the sub-scopes (sort, aggregates, range cast) exist.
+  EXPECT_TRUE(scopes.contains("sort"));
+  EXPECT_TRUE(scopes.contains("aggregate"));
+  EXPECT_TRUE(scopes.contains("range_cast"));
+}
+
+TEST(Stress, ManySeedsSameVerdict) {
+  // Las-Vegas: the verdict and the realized degree profile are
+  // seed-independent even though transcripts differ.
+  const auto d = graph::bimodal_sequence(60, 2, 10);
+  std::vector<std::uint64_t> profile0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto net = testing::make_ncc0(60, seed);
+    const auto result = realize::realize_degrees_implicit(net, d);
+    ASSERT_TRUE(result.realizable);
+    const auto g = realize::graph_from_stored(net, result.stored);
+    auto profile = g.degree_sequence();
+    if (seed == 1) profile0 = profile;
+    else EXPECT_EQ(profile, profile0);
+  }
+}
+
+}  // namespace
+}  // namespace dgr

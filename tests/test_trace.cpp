@@ -1,0 +1,82 @@
+// Message-level tracing facility.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ncc/trace.h"
+#include "primitives/bbst.h"
+#include "primitives/path.h"
+#include "testing.h"
+
+namespace dgr {
+namespace {
+
+TEST(Trace, CountsDeliveriesExactly) {
+  auto net = testing::make_ncc0(32, 4);
+  ncc::Trace trace;
+  net.set_trace(&trace);
+  prim::PathOverlay path = prim::undirect_initial_path(net);
+  (void)prim::build_bbst(net, path);
+  net.set_trace(nullptr);
+
+  EXPECT_EQ(trace.delivered(), net.stats().messages_delivered);
+  EXPECT_EQ(trace.bounced(), net.stats().messages_bounced);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.total_recorded(),
+            trace.delivered() + trace.bounced() + trace.dropped());
+  // The undirect tag (0x10) must appear exactly n-1 times.
+  EXPECT_EQ(trace.per_tag().at(0x10), 31u);
+}
+
+TEST(Trace, RecordsDropsUnderLoss) {
+  ncc::Config cfg;
+  cfg.seed = 5;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.drop_probability = 0.5;
+  ncc::Network net(64, cfg);
+  ncc::Trace trace;
+  net.set_trace(&trace);
+  for (int r = 0; r < 10; ++r) {
+    net.round([&](ncc::Ctx& ctx) {
+      ctx.send(net.id_of((ctx.slot() + 1) % net.n()), ncc::make_msg(0xAB));
+    });
+  }
+  net.round([](ncc::Ctx&) {});
+  EXPECT_GT(trace.dropped(), 0u);
+  EXPECT_GT(trace.delivered(), 0u);
+  EXPECT_EQ(trace.dropped() + trace.delivered(), 640u);
+}
+
+TEST(Trace, CsvAndBusiestRound) {
+  auto net = testing::make_ncc0(8, 6);
+  ncc::Trace trace;
+  net.set_trace(&trace);
+  net.round([&](ncc::Ctx& ctx) {
+    const auto s = ctx.initial_successor();
+    if (s != ncc::kNoNode) ctx.send(s, ncc::make_msg(7).push(1));
+  });
+  net.round([](ncc::Ctx&) {});
+  const auto [round, count] = trace.busiest_round();
+  EXPECT_EQ(round, 0u);
+  EXPECT_EQ(count, 7u);
+
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_NE(os.str().find("round,src,dst,tag,outcome"), std::string::npos);
+  EXPECT_NE(os.str().find("delivered"), std::string::npos);
+
+  trace.clear();
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(Trace, BoundedRawEventRetention) {
+  ncc::Trace trace(/*max_events=*/5);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    trace.record({i, 0, 1, 1, ncc::MessageOutcome::kDelivered});
+  }
+  EXPECT_EQ(trace.events().size(), 5u);
+  EXPECT_EQ(trace.total_recorded(), 20u);
+}
+
+}  // namespace
+}  // namespace dgr

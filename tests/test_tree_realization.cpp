@@ -1,0 +1,149 @@
+// §5: distributed tree realizations (Algorithms 4 and 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/degree_sequence.h"
+#include "graph/generators.h"
+#include "graph/prufer.h"
+#include "graph/tree_metrics.h"
+#include "realization/tree_realization.h"
+#include "realization/validate.h"
+#include "seq/caterpillar.h"
+#include "seq/greedy_tree.h"
+#include "testing.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace dgr::realize {
+namespace {
+
+graph::Graph realized_graph(const ncc::Network& net,
+                            const TreeRealizationResult& result) {
+  return graph_from_stored(net, result.stored);
+}
+
+void expect_tree_with_degrees(const ncc::Network& net,
+                              const std::vector<std::uint64_t>& d,
+                              const TreeRealizationResult& result) {
+  ASSERT_TRUE(result.realizable);
+  const auto v = validate_degree_realization(net, d, result.stored);
+  EXPECT_TRUE(v.ok) << v.message;
+  EXPECT_TRUE(realized_graph(net, result).is_tree());
+}
+
+class TreeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(TreeSweep, BothAlgorithmsRealizeTrees) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed * 17 + n);
+  const auto d = graph::random_tree_sequence(n, rng);
+
+  auto net1 = testing::make_ncc0(n, seed);
+  const auto cat = realize_tree_caterpillar(net1, d);
+  expect_tree_with_degrees(net1, d, cat);
+
+  auto net2 = testing::make_ncc0(n, seed + 1);
+  const auto greedy = realize_tree_greedy(net2, d);
+  expect_tree_with_degrees(net2, d, greedy);
+
+  // Lemma 15: the greedy tree's diameter is minimum; the caterpillar's is
+  // at least as large.
+  const auto d_cat = graph::tree_diameter(realized_graph(net1, cat));
+  const auto d_greedy = graph::tree_diameter(realized_graph(net2, greedy));
+  EXPECT_LE(d_greedy, d_cat);
+
+  const auto seq_min = seq::min_tree_diameter(d);
+  ASSERT_TRUE(seq_min.has_value());
+  EXPECT_EQ(d_greedy, *seq_min);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TreeSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 4, 5, 8, 16, 33,
+                                                      100, 257),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+class BruteForceCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceCheck, GreedyDiameterIsGloballyMinimal) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(6);  // [2, 7]
+  const auto d = graph::random_tree_sequence(n, rng);
+  auto net = testing::make_ncc0(n, GetParam());
+  const auto greedy = realize_tree_greedy(net, d);
+  ASSERT_TRUE(greedy.realizable);
+  const auto diam = graph::tree_diameter(realized_graph(net, greedy));
+  const auto brute = graph::min_tree_diameter_bruteforce(d);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_EQ(diam, *brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceCheck,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(TreeRealization, PathSequence) {
+  // (1, 2, 2, ..., 2, 1): both algorithms must produce the path itself.
+  const std::size_t n = 20;
+  std::vector<std::uint64_t> d(n, 2);
+  d[0] = d[1] = 1;
+  auto net = testing::make_ncc0(n, 5);
+  const auto cat = realize_tree_caterpillar(net, d);
+  expect_tree_with_degrees(net, d, cat);
+  EXPECT_EQ(graph::tree_diameter(realized_graph(net, cat)), n - 1);
+}
+
+TEST(TreeRealization, StarSequence) {
+  const std::size_t n = 12;
+  std::vector<std::uint64_t> d(n, 1);
+  d[3] = n - 1;
+  auto net = testing::make_ncc0(n, 6);
+  const auto greedy = realize_tree_greedy(net, d);
+  expect_tree_with_degrees(net, d, greedy);
+  EXPECT_EQ(graph::tree_diameter(realized_graph(net, greedy)), 2u);
+}
+
+TEST(TreeRealization, TwoNodes) {
+  auto net = testing::make_ncc0(2, 7);
+  const std::vector<std::uint64_t> d{1, 1};
+  const auto cat = realize_tree_caterpillar(net, d);
+  expect_tree_with_degrees(net, d, cat);
+}
+
+TEST(TreeRealization, SingleNode) {
+  auto net = testing::make_ncc0(1, 8);
+  const auto r = realize_tree_greedy(net, {0});
+  EXPECT_TRUE(r.realizable);
+}
+
+TEST(TreeRealization, UnrealizableDetected) {
+  // Wrong sum.
+  {
+    auto net = testing::make_ncc0(4, 9);
+    const auto r = realize_tree_caterpillar(net, {2, 2, 2, 2});
+    EXPECT_FALSE(r.realizable);
+  }
+  // Zero degree with n > 1.
+  {
+    auto net = testing::make_ncc0(3, 10);
+    const auto r = realize_tree_greedy(net, {2, 2, 0});
+    EXPECT_FALSE(r.realizable);
+  }
+}
+
+TEST(TreeRealization, RoundsArePolylog) {
+  const std::size_t n = 512;
+  Rng rng(11);
+  const auto d = graph::random_tree_sequence(n, rng);
+  auto net = testing::make_ncc0(n, 11);
+  const auto r = realize_tree_greedy(net, d);
+  ASSERT_TRUE(r.realizable);
+  const std::uint64_t lg = ceil_log2(n);
+  EXPECT_LE(r.rounds, 6 * lg * lg + 40 * lg + 60);
+}
+
+}  // namespace
+}  // namespace dgr::realize

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/stats_accum.h"
+#include "util/table.h"
+
+namespace dgr {
+namespace {
+
+TEST(MathUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(MathUtil, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2((1ULL << 40) + 17), 40);
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+}
+
+class IsqrtSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsqrtSweep, RoundTrip) {
+  const std::uint64_t x = GetParam();
+  const std::uint64_t r = isqrt(x);
+  EXPECT_LE(r * r, x);
+  EXPECT_GT((r + 1) * (r + 1), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, IsqrtSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 8, 9, 15, 16, 17,
+                                           99, 100, 101, 65535, 65536,
+                                           1ULL << 40, (1ULL << 40) + 1,
+                                           999999999999ULL));
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng base(5);
+  Rng c1 = base.split(1);
+  Rng c2 = base.split(2);
+  Rng c1b = base.split(1);
+  EXPECT_EQ(c1(), c1b());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c1() == c2() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StatsAccum, Moments) {
+  StatsAccum s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.percentile(50), 4.5, 1e-9);
+}
+
+TEST(Table, PrintAndCsv) {
+  Table t("demo");
+  t.header({"a", "b"});
+  t.row({"1", "x"});
+  t.row({"22", "yy"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("demo"), std::string::npos);
+  EXPECT_NE(os.str().find("22"), std::string::npos);
+  EXPECT_EQ(t.csv(), "a,b\n1,x\n22,yy\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.0), "3");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace dgr

@@ -1,0 +1,133 @@
+// Negative testing of the referee validators: corrupted realizations must
+// be rejected with a useful message.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "realization/explicit_degree.h"
+#include "realization/implicit_degree.h"
+#include "realization/validate.h"
+#include "testing.h"
+
+namespace dgr::realize {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : net(testing::make_ncc0(24, 7)),
+        degree(graph::regular_sequence(24, 4)),
+        implicit_result(realize_degrees_implicit(net, degree)) {
+    EXPECT_TRUE(implicit_result.realizable);
+  }
+  ncc::Network net;
+  std::vector<std::uint64_t> degree;
+  ImplicitDegreeResult implicit_result;
+};
+
+TEST(Validate, AcceptsHonestRealization) {
+  Fixture f;
+  EXPECT_TRUE(
+      validate_degree_realization(f.net, f.degree, f.implicit_result.stored)
+          .ok);
+}
+
+TEST(Validate, DetectsMissingEdge) {
+  Fixture f;
+  auto stored = f.implicit_result.stored;
+  for (auto& lst : stored) {
+    if (!lst.empty()) {
+      lst.pop_back();
+      break;
+    }
+  }
+  const auto v = validate_degree_realization(f.net, f.degree, stored);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("degree"), std::string::npos);
+}
+
+TEST(Validate, DetectsDuplicateEdge) {
+  Fixture f;
+  auto stored = f.implicit_result.stored;
+  for (auto& lst : stored) {
+    if (!lst.empty()) {
+      lst.push_back(lst.front());  // store the same edge twice
+      break;
+    }
+  }
+  const auto v = validate_degree_realization(f.net, f.degree, stored);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("duplicate"), std::string::npos);
+}
+
+TEST(Validate, DetectsSelfLoop) {
+  Fixture f;
+  auto stored = f.implicit_result.stored;
+  stored[0].push_back(f.net.id_of(0));
+  EXPECT_FALSE(validate_degree_realization(f.net, f.degree, stored).ok);
+}
+
+TEST(Validate, DetectsAsymmetricExplicitAdjacency) {
+  Fixture f;
+  const auto explicit_result = make_explicit(f.net, f.implicit_result);
+  // Honest passes.
+  EXPECT_TRUE(validate_explicit_adjacency(f.net, f.implicit_result.stored,
+                                          explicit_result.adjacency)
+                  .ok);
+  // Remove one side of one edge.
+  auto adjacency = explicit_result.adjacency;
+  for (auto& lst : adjacency) {
+    if (!lst.empty()) {
+      lst.pop_back();
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_explicit_adjacency(f.net, f.implicit_result.stored,
+                                           adjacency)
+                   .ok);
+}
+
+TEST(Validate, DetectsForeignEdgeInExplicitAdjacency) {
+  Fixture f;
+  const auto explicit_result = make_explicit(f.net, f.implicit_result);
+  auto adjacency = explicit_result.adjacency;
+  // Insert an edge that was never realized: find a non-neighbour pair.
+  const auto g = graph_from_stored(f.net, f.implicit_result.stored);
+  for (graph::Vertex a = 0; a < g.n(); ++a) {
+    for (graph::Vertex b = 0; b < g.n(); ++b) {
+      if (a == b || g.has_edge(a, b)) continue;
+      // Replace one honest entry so the length check stays silent and the
+      // membership check has to fire.
+      ASSERT_FALSE(adjacency[a].empty());
+      adjacency[a].back() = f.net.id_of(b);
+      const auto v = validate_explicit_adjacency(
+          f.net, f.implicit_result.stored, adjacency);
+      EXPECT_FALSE(v.ok);
+      return;
+    }
+  }
+  FAIL() << "graph unexpectedly complete";
+}
+
+TEST(Validate, EnvelopeDetectsDeficit) {
+  Fixture f;
+  auto stored = f.implicit_result.stored;
+  // Remove edges from one node until it is under its requested degree.
+  const auto g = graph_from_stored(f.net, stored);
+  (void)g;
+  for (auto& lst : stored) lst.clear();  // realize nothing
+  const auto v = validate_upper_envelope(f.net, f.degree, stored);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.message.find("envelope"), std::string::npos);
+}
+
+TEST(Validate, EnvelopeDetectsOvershoot) {
+  // sum(D') > 2 sum(D): request degree 0 everywhere but realize a matching.
+  auto net = testing::make_ncc0(4, 9);
+  std::vector<std::uint64_t> degree(4, 0);
+  std::vector<std::vector<ncc::NodeId>> stored(4);
+  stored[0].push_back(net.id_of(1));
+  const auto v = validate_upper_envelope(net, degree, stored);
+  EXPECT_FALSE(v.ok);
+}
+
+}  // namespace
+}  // namespace dgr::realize

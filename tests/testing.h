@@ -1,0 +1,35 @@
+// Shared helpers for the dgr test suite.
+#pragma once
+
+#include <memory>
+
+#include "ncc/config.h"
+#include "ncc/network.h"
+
+namespace dgr::testing {
+
+/// NCC0 network with bounce overflow (the default production setup).
+inline ncc::Network make_ncc0(std::size_t n, std::uint64_t seed = 1) {
+  ncc::Config cfg;
+  cfg.seed = seed;
+  return ncc::Network(n, cfg);
+}
+
+/// NCC0 network in strict mode: any capacity overflow throws — used to
+/// prove the deterministic primitives stay within the model budget.
+inline ncc::Network make_strict_ncc0(std::size_t n, std::uint64_t seed = 1) {
+  ncc::Config cfg;
+  cfg.seed = seed;
+  cfg.overflow = ncc::OverflowPolicy::kStrict;
+  return ncc::Network(n, cfg);
+}
+
+/// NCC1 network (full knowledge).
+inline ncc::Network make_ncc1(std::size_t n, std::uint64_t seed = 1) {
+  ncc::Config cfg;
+  cfg.seed = seed;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  return ncc::Network(n, cfg);
+}
+
+}  // namespace dgr::testing
