@@ -1,0 +1,25 @@
+# Resolve GoogleTest: prefer the system package, fall back to a pinned
+# FetchContent download so a bare container can still build the suite.
+#
+# Provides GTest::gtest and GTest::gtest_main either way.
+
+# No version constraint: FindGTest in module mode does not report a version
+# before CMake 3.23, so a constraint here would be silently ignored.
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  if(DEFINED GTest_VERSION)
+    message(STATUS "dgr: using system GoogleTest ${GTest_VERSION}")
+  else()
+    message(STATUS "dgr: using system GoogleTest")
+  endif()
+else()
+  message(STATUS "dgr: system GoogleTest not found, fetching pinned v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  # Keep gtest out of the install set and off MSVC's static CRT mismatch.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
