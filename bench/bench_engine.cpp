@@ -1,0 +1,131 @@
+// Raw round-engine throughput (no algorithm work): how many rounds and
+// messages per second the NCC simulator core sustains.
+//
+// Unlike the algorithm benchmarks (which report paper-bound ratios), these
+// measure pure simulator overhead — Ctx::send checks, ID->slot resolution,
+// knowledge updates, and the gather/deliver pipeline — under three synthetic
+// workloads:
+//
+//   Flood    — every node sends its full capacity() budget to uniformly
+//              random targets each round. Maximum datapath pressure; a few
+//              destinations oversubscribe, so the bounce path runs too.
+//   Sparse   — every node sends exactly one message per round. Dominated by
+//              per-round fixed costs (body dispatch, buffer resets).
+//   Overflow — every node aims half its budget at 8 hot destinations, so
+//              almost everything bounces. Stresses the oversubscription
+//              (random-subset selection) path and bounced() bookkeeping.
+//
+// Counters: "messages/s" (engine-accepted sends per wall second, the headline
+// number), "rounds/s", and "msgs/round". Sweeps n in {256..16384} and
+// threads in {1, 4, 8}. See EXPERIMENTS.md for how these feed
+// BENCH_engine.json and the perf-trajectory workflow.
+#include <cstdint>
+
+#include "bench_common.h"
+#include "ncc/message.h"
+
+namespace dgr::bench {
+namespace {
+
+ncc::Config engine_cfg(unsigned threads) {
+  ncc::Config cfg;
+  cfg.seed = 42;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = threads;
+  // The throughput loop runs as many rounds as wall-time allows; the
+  // livelock guard must not trip.
+  cfg.max_rounds = ~std::size_t{0};
+  return cfg;
+}
+
+void report_throughput(benchmark::State& state, const ncc::Network& net,
+                       std::uint64_t rounds0, std::uint64_t msgs0) {
+  const auto rounds = static_cast<double>(net.stats().rounds - rounds0);
+  const auto msgs = static_cast<double>(net.stats().messages_sent - msgs0);
+  state.counters["rounds/s"] =
+      benchmark::Counter(rounds, benchmark::Counter::kIsRate);
+  state.counters["messages/s"] =
+      benchmark::Counter(msgs, benchmark::Counter::kIsRate);
+  state.counters["msgs/round"] = benchmark::Counter(
+      rounds > 0 ? msgs / rounds : 0, benchmark::Counter::kAvgThreads);
+}
+
+void BM_EngineFlood(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ncc::Network net(n, engine_cfg(static_cast<unsigned>(state.range(1))));
+  const auto cap = static_cast<std::size_t>(net.capacity());
+  // Fixed uniform-random target lists, drawn outside the timed region so the
+  // measurement is engine datapath, not benchmark-side RNG.
+  std::vector<ncc::NodeId> targets(n * cap);
+  {
+    Rng tr(99);
+    for (auto& t : targets) t = net.id_of(static_cast<ncc::Slot>(tr.below(n)));
+  }
+  const std::uint64_t rounds0 = net.stats().rounds;
+  const std::uint64_t msgs0 = net.stats().messages_sent;
+  for (auto _ : state) {
+    net.round([&](ncc::Ctx& ctx) {
+      const ncc::NodeId* t = targets.data() + ctx.slot() * cap;
+      for (std::size_t i = 0; i < cap; ++i) {
+        ctx.send(t[i], ncc::make_msg(7).push(static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  report_throughput(state, net, rounds0, msgs0);
+}
+
+void BM_EngineSparse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ncc::Network net(n, engine_cfg(static_cast<unsigned>(state.range(1))));
+  const std::uint64_t rounds0 = net.stats().rounds;
+  const std::uint64_t msgs0 = net.stats().messages_sent;
+  for (auto _ : state) {
+    net.round([](ncc::Ctx& ctx) {
+      const auto ids = ctx.all_ids();
+      ctx.send(ids[ctx.rng().below(ids.size())], ncc::make_msg(7).push(1));
+    });
+  }
+  report_throughput(state, net, rounds0, msgs0);
+}
+
+void BM_EngineOverflow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ncc::Network net(n, engine_cfg(static_cast<unsigned>(state.range(1))));
+  const auto half = static_cast<std::size_t>(net.capacity()) / 2;
+  constexpr std::size_t kHot = 8;
+  std::vector<ncc::NodeId> targets(n * half);
+  {
+    Rng tr(7);
+    for (auto& t : targets)
+      t = net.id_of(static_cast<ncc::Slot>(tr.below(kHot)));
+  }
+  const std::uint64_t rounds0 = net.stats().rounds;
+  const std::uint64_t msgs0 = net.stats().messages_sent;
+  for (auto _ : state) {
+    net.round([&](ncc::Ctx& ctx) {
+      const ncc::NodeId* t = targets.data() + ctx.slot() * half;
+      for (std::size_t i = 0; i < half; ++i) {
+        ctx.send(t[i], ncc::make_msg(9).push(static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  report_throughput(state, net, rounds0, msgs0);
+}
+
+void EngineArgs(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {256, 1024, 4096, 16384}) {
+    for (std::int64_t threads : {1, 4, 8}) {
+      b->Args({n, threads});
+    }
+  }
+  b->ArgNames({"n", "threads"});
+}
+
+BENCHMARK(BM_EngineFlood)->Apply(EngineArgs)->UseRealTime();
+BENCHMARK(BM_EngineSparse)->Apply(EngineArgs)->UseRealTime();
+BENCHMARK(BM_EngineOverflow)->Apply(EngineArgs)->UseRealTime();
+
+}  // namespace
+}  // namespace dgr::bench
+
+BENCHMARK_MAIN();

@@ -42,8 +42,12 @@ struct Config {
   /// against livelock in experimental code).
   std::size_t max_rounds = 5'000'000;
 
-  /// Worker threads for the per-node round body (1 = serial). Determinism is
-  /// independent of the thread count.
+  /// Worker threads for the per-node round body (1 = serial; effective
+  /// count is min(threads, n)). Threads > 1 starts a persistent pool owned
+  /// by the Network on the first round — workers park on a round barrier
+  /// between rounds, so there is no per-round spawn/join cost. Each worker
+  /// owns a fixed slot slice and a private outbox arena; transcripts are
+  /// bit-for-bit identical for any thread count.
   unsigned threads = 1;
 
   /// Independent per-message loss probability (0 = reliable links, the

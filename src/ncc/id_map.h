@@ -1,0 +1,87 @@
+// O(1) NodeId -> Slot resolution for the round-engine hot path.
+//
+// Ctx::send resolves the destination ID (and re-checks every forwarded ID
+// word) on every message, so this lookup sits on the innermost datapath.
+// Two layouts:
+//   - dense: when IDs are exactly 1..n in slot order (Config::random_ids ==
+//     false, and any future contiguous assignment), find() is a subtraction;
+//   - hashed: otherwise an open-addressing table with linear probing and a
+//     Fibonacci multiply-shift hash, sized to a power of two at load factor
+//     <= 0.5. Lookups touch one cache line in the common case — no pointer
+//     chasing, no modulo, no std::hash indirection.
+// The table is built once at Network construction and never mutated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ncc/ids.h"
+
+namespace dgr::ncc {
+
+class IdMap {
+ public:
+  /// (Re)build from the slot -> ID table. IDs must be unique and non-zero.
+  void build(const std::vector<NodeId>& ids) {
+    n_ = ids.size();
+    dense_ = true;
+    for (std::size_t s = 0; s < n_; ++s) {
+      if (ids[s] != static_cast<NodeId>(s + 1)) {
+        dense_ = false;
+        break;
+      }
+    }
+    if (dense_) {
+      table_.clear();
+      shift_ = 64;
+      return;
+    }
+    std::size_t cap = 16;
+    shift_ = 60;
+    while (cap < 2 * n_) {
+      cap <<= 1;
+      --shift_;
+    }
+    table_.assign(cap, Entry{kNoNode, kNoSlot});
+    const std::size_t mask = cap - 1;
+    for (std::size_t s = 0; s < n_; ++s) {
+      std::size_t h = probe_start(ids[s]);
+      while (table_[h].key != kNoNode) h = (h + 1) & mask;
+      table_[h] = {ids[s], static_cast<Slot>(s)};
+    }
+  }
+
+  /// Slot holding `id`, or kNoSlot when no node has that ID.
+  Slot find(NodeId id) const {
+    if (id == kNoNode) return kNoSlot;
+    if (dense_) {
+      return id <= n_ ? static_cast<Slot>(id - 1) : kNoSlot;
+    }
+    const std::size_t mask = table_.size() - 1;
+    std::size_t h = probe_start(id);
+    while (table_[h].key != kNoNode) {
+      if (table_[h].key == id) return table_[h].slot;
+      h = (h + 1) & mask;
+    }
+    return kNoSlot;
+  }
+
+ private:
+  // Key and slot share an entry so a hit costs a single cache-line touch.
+  struct Entry {
+    NodeId key;  // kNoNode == empty
+    Slot slot;
+  };
+
+  std::size_t probe_start(NodeId id) const {
+    return static_cast<std::size_t>((id * 0x9E3779B97F4A7C15ULL) >> shift_);
+  }
+
+  std::size_t n_ = 0;
+  bool dense_ = true;
+  unsigned shift_ = 64;           // 64 - log2(table size)
+  std::vector<Entry> table_;
+};
+
+}  // namespace dgr::ncc

@@ -1,4 +1,4 @@
 #include "ncc/knowledge.h"
 
-// Header-only today; the translation unit anchors the target and leaves room
-// for heavier knowledge representations (bitsets, bloom filters) later.
+// Header-only (the bitset operations must inline into the engine datapath);
+// the translation unit anchors the target.

@@ -1,6 +1,9 @@
 #include "ncc/network.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -10,49 +13,165 @@
 
 namespace dgr::ncc {
 
-// ---------------------------------------------------------------- Ctx ----
+// ------------------------------------------------------------ OutArena ----
 
-NodeId Ctx::id() const { return net_.ids_[slot_]; }
-std::size_t Ctx::n() const { return net_.n_; }
-std::uint64_t Ctx::round() const { return net_.stats_.rounds; }
-int Ctx::capacity() const { return net_.capacity_; }
-int Ctx::sends_left() const {
-  return net_.capacity_ - net_.sends_this_round_[slot_];
+void Ctx::OutArena::grow(std::size_t need) {
+  std::size_t next = cap == 0 ? 256 : cap * 2;
+  while (next < len + need) next *= 2;
+  auto nb = std::make_unique<std::uint64_t[]>(next);
+  std::copy(buf.get(), buf.get() + len, nb.get());
+  buf = std::move(nb);
+  cap = next;
 }
 
-bool Ctx::knows(NodeId id) const { return net_.know_[slot_].knows(id); }
+namespace {
 
-NodeId Ctx::initial_successor() const { return net_.initial_succ_[slot_]; }
-
-std::span<const NodeId> Ctx::all_ids() const {
-  DGR_CHECK_MSG(net_.is_clique(),
-                "all_ids() is common knowledge only in the NCC1 model");
-  return net_.sorted_ids_;
+// Accessors for the wire records described in Ctx::OutArena: word 0 routes
+// (src | dst << 32), word 1 heads the payload (tag | size << 32 |
+// id_mask << 40), then `size` payload words.
+inline Slot rec_src(const std::uint64_t* p) {
+  return static_cast<Slot>(p[0]);
+}
+inline Slot rec_dst(const std::uint64_t* p) {
+  return static_cast<Slot>(p[0] >> 32);
+}
+inline void rec_set_dst(std::uint64_t* p, Slot dst) {
+  p[0] = (p[0] & 0xffffffffULL) | (static_cast<std::uint64_t>(dst) << 32);
+}
+inline std::uint32_t rec_tag(const std::uint64_t* p) {
+  return static_cast<std::uint32_t>(p[1]);
+}
+/// Total 64-bit words the record at `p` occupies.
+inline std::size_t rec_words(const std::uint64_t* p) {
+  return 2 + ((p[1] >> 32) & 0xffu);
 }
 
-void Ctx::send(NodeId to, Message m) {
-  DGR_CHECK_MSG(to != kNoNode, "send to null ID");
-  DGR_CHECK_MSG(knows(to), "node " << id() << " does not know ID " << to
-                                   << " (KT0 violation)");
-  // A node can only transmit IDs it actually knows (no referee leakage).
-  for (std::size_t w = 0; w < m.size; ++w) {
-    if (m.id_mask & (1u << w)) {
-      DGR_CHECK_MSG(knows(m.words[w]),
-                    "node " << id() << " forwards unknown ID " << m.words[w]);
+/// High bit of an inbox cursor: the destination is oversubscribed this
+/// round, so acceptance consults its overflow-bitmap cursor.
+constexpr std::uint32_t kOvfBit = 0x80000000u;
+
+/// Grow-by-doubling for the round-scratch buffers whose contents are fully
+/// rewritten every round — old contents are deliberately discarded.
+template <typename T>
+void grow_discard(std::unique_ptr<T[]>& buf, std::size_t& cap,
+                  std::size_t need, std::size_t floor) {
+  std::size_t next = cap == 0 ? floor : cap;
+  while (next < need) next *= 2;
+  buf = std::make_unique<T[]>(next);
+  cap = next;
+}
+
+/// Materialize a full Message from its wire record; unused payload words
+/// are zeroed, matching what the pre-encoding engine delivered.
+inline void decode(const std::uint64_t* p, NodeId src, Message& out) {
+  const std::uint64_t h = p[1];
+  out.tag = static_cast<std::uint32_t>(h);
+  const auto size = static_cast<std::uint8_t>(h >> 32);
+  out.size = size;
+  out.id_mask = static_cast<std::uint8_t>(h >> 40);
+  out.words = {};
+  for (std::uint8_t w = 0; w < size; ++w) out.words[w] = p[2 + w];
+  out.src = src;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- WorkerPool ----
+
+// Persistent round-body workers, woken by a generation barrier. The pool
+// owns threads for slices 1..threads_-1; the caller's thread always runs
+// slice 0, so threads_ == 1 never touches the pool at all. Slot slices are
+// fixed at construction, which both avoids rebalancing bookkeeping and keeps
+// the slice -> outbox-arena mapping stable (arena concatenation order is the
+// determinism contract; see deliver()).
+struct Network::WorkerPool {
+  WorkerPool(Network& net, unsigned nworkers, std::size_t chunk)
+      : net_(net) {
+    threads_.reserve(nworkers);
+    for (unsigned t = 1; t <= nworkers; ++t) {
+      const Slot lo =
+          static_cast<Slot>(std::min<std::size_t>(t * chunk, net.n_));
+      const Slot hi =
+          static_cast<Slot>(std::min<std::size_t>((t + 1) * chunk, net.n_));
+      threads_.emplace_back([this, t, lo, hi] { worker_main(t, lo, hi); });
     }
   }
-  DGR_CHECK_MSG(net_.sends_this_round_[slot_] < net_.capacity_,
-                "send capacity exceeded at node " << id());
-  const Slot dst = net_.slot_of(to);
-  m.src = id();
-  net_.outbox_[slot_].push_back({dst, std::move(m)});
-  ++net_.sends_this_round_[slot_];
-}
 
-std::span<const Message> Ctx::inbox() const { return net_.inbox_[slot_]; }
-std::span<const Bounced> Ctx::bounced() const { return net_.bounced_[slot_]; }
+  ~WorkerPool() {
+    {
+      std::scoped_lock lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& th : threads_) th.join();
+  }
 
-Rng& Ctx::rng() { return net_.node_rng_[slot_]; }
+  /// Publish one round of work to every worker; returns immediately.
+  /// Pair with wait().
+  void kick(void* body, RoundThunk thunk, unsigned nworkers) {
+    {
+      std::scoped_lock lk(mu_);
+      body_ = body;
+      thunk_ = thunk;
+      pending_ = nworkers;
+      error_ = nullptr;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+  }
+
+  /// Block until every worker finished the current round; rethrows the
+  /// first body exception observed on a worker thread.
+  void wait() {
+    std::exception_ptr err;
+    {
+      std::unique_lock lk(mu_);
+      cv_done_.wait(lk, [&] { return pending_ == 0; });
+      err = error_;
+      error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+ private:
+  void worker_main(unsigned t, Slot lo, Slot hi) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      void* body = nullptr;
+      RoundThunk thunk = nullptr;
+      {
+        std::unique_lock lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        body = body_;
+        thunk = thunk_;
+      }
+      try {
+        net_.run_slots(lo, hi, t, body, thunk);
+      } catch (...) {
+        std::scoped_lock lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::scoped_lock lk(mu_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  Network& net_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  void* body_ = nullptr;
+  RoundThunk thunk_ = nullptr;
+  std::exception_ptr error_;
+};
 
 // ------------------------------------------------------------ Network ----
 
@@ -60,6 +179,8 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
   DGR_CHECK_MSG(n >= 1, "network needs at least one node");
   capacity_ = std::max(cfg_.min_capacity,
                        cfg_.capacity_factor * ceil_log2(std::max<std::size_t>(n, 2)));
+  threads_ = std::min<unsigned>(std::max(1u, cfg_.threads),
+                                static_cast<unsigned>(n_));
 
   Rng seeder(hash_mix(cfg_.seed, 0xA11CE5ULL));
 
@@ -92,9 +213,7 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
   sorted_ids_ = ids_;
   std::sort(sorted_ids_.begin(), sorted_ids_.end());
 
-  id_index_.reserve(n);
-  for (Slot s = 0; s < n; ++s) id_index_.emplace_back(ids_[s], s);
-  std::sort(id_index_.begin(), id_index_.end());
+  id_map_.build(ids_);
 
   // Initial knowledge graph Gk.
   path_order_.resize(n);
@@ -102,6 +221,7 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
   if (cfg_.shuffle_path) seeder.shuffle(path_order_);
 
   know_.resize(n);
+  for (auto& k : know_) k.init(n);
   initial_succ_.assign(n, kNoNode);
   // The path hints exist in both variants: NCC1 knowledge strictly contains
   // NCC0's, so NCC0 algorithms run unchanged on an NCC1 network (paper §2).
@@ -109,17 +229,24 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
     const Slot u = path_order_[i];
     const Slot v = path_order_[i + 1];
     initial_succ_[u] = ids_[v];
-    know_[u].learn(ids_[v]);
+    know_[u].learn_slot(v);
   }
   if (cfg_.initial == InitialKnowledge::kClique) {
     for (auto& k : know_) k.set_all();
   }
   // Every node knows its own ID.
-  for (Slot s = 0; s < n; ++s) know_[s].learn(ids_[s]);
+  for (Slot s = 0; s < n; ++s) know_[s].learn_slot(s);
 
-  outbox_.resize(n);
+  outboxes_.resize(threads_);
+  for (auto& out : outboxes_) out.hist.assign(n, 0);
+  dest_count_.resize(n);
   sends_this_round_.assign(n, 0);
-  inbox_.resize(n);
+  inbox_off_.assign(n + 1, 0);
+  inbox_cur_.resize(n);
+  bitmap_off_.resize(n);
+  ovf_cursor_.resize(n);
+  bounce_base_.resize(n);
+  bounce_cursor_.resize(n);
   bounced_.resize(n);
 
   node_rng_.reserve(n);
@@ -129,18 +256,12 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
   crashed_.assign(n, 0);
 }
 
-std::size_t Network::crashed_count() const {
-  std::size_t c = 0;
-  for (const auto x : crashed_) c += x;
-  return c;
-}
+Network::~Network() = default;
 
 Slot Network::slot_of(NodeId id) const {
-  auto it = std::lower_bound(id_index_.begin(), id_index_.end(),
-                             std::make_pair(id, Slot{0}));
-  DGR_CHECK_MSG(it != id_index_.end() && it->first == id,
-                "unknown NodeId " << id);
-  return it->second;
+  const Slot s = id_map_.find(id);
+  DGR_CHECK_MSG(s != kNoSlot, "unknown NodeId " << id);
+  return s;
 }
 
 std::size_t Network::max_knowledge() const {
@@ -155,152 +276,327 @@ std::size_t Network::total_knowledge() const {
   return total;
 }
 
+void Network::send_fail(Slot s, NodeId to, const std::uint64_t* rec,
+                        int sends) const {
+  // Re-run the checks in their documented order so the thrown diagnostic is
+  // the same one the checks would have produced inline.
+  Message m;
+  decode(rec, kNoNode, m);
+  DGR_CHECK_MSG(to != kNoNode, "send to null ID");
+  const Knowledge& kn = know_[s];
+  const Slot dst = id_map_.find(to);
+  if (kn.knows_all()) {
+    DGR_CHECK_MSG(dst != kNoSlot, "unknown NodeId " << to);
+  } else {
+    DGR_CHECK_MSG(dst != kNoSlot && kn.knows_slot(dst),
+                  "node " << ids_[s] << " does not know ID " << to
+                          << " (KT0 violation)");
+  }
+  for (std::size_t w = 0; w < m.size; ++w) {
+    if (m.id_mask & (1u << w)) {
+      DGR_CHECK_MSG(node_knows(s, m.words[w]),
+                    "node " << ids_[s] << " forwards unknown ID "
+                            << m.words[w]);
+    }
+  }
+  DGR_CHECK_MSG(sends < capacity_,
+                "send capacity exceeded at node " << ids_[s]);
+  DGR_CHECK_MSG(false, "unreachable: send_fail called with passing checks");
+  std::abort();  // silence [[noreturn]] warnings; DGR_CHECK above throws
+}
+
+// Delivery teaches the receiver the sender's ID plus every ID word in the
+// payload (the packet-header analogy from message.h). Send-side checks
+// guarantee every forwarded ID names a real node whenever the receiver
+// actually materializes a set, so the find() cannot miss on that path.
+void Network::learn_from(Slot dst, Slot src, const Message& msg) {
+  Knowledge& k = know_[dst];
+  if (k.knows_all()) return;
+  k.learn_slot(src);
+  for (std::size_t w = 0; w < msg.size; ++w) {
+    if (msg.id_mask & (1u << w)) {
+      const Slot ws = id_map_.find(msg.words[w]);
+      if (ws != kNoSlot) k.learn_slot(ws);
+    }
+  }
+}
+
+void Network::run_slots(Slot lo, Slot hi, unsigned arena, void* body,
+                        RoundThunk thunk) {
+  auto* out = &outboxes_[arena];
+  std::fill(out->hist.begin(), out->hist.end(), 0u);
+  for (Slot s = lo; s < hi; ++s) {
+    if (crashed_[s]) continue;
+    Ctx ctx(*this, s, out);
+    thunk(body, ctx);
+    // The send budget is tracked in the (register-resident) Ctx; persist it
+    // for the max_send statistic and the cold-path diagnostics.
+    sends_this_round_[s] = ctx.sends_;
+  }
+}
+
 void Network::round(const std::function<void(Ctx&)>& body) {
+  round_raw(const_cast<void*>(static_cast<const void*>(&body)),
+            [](void* b, Ctx& ctx) {
+              (*static_cast<const std::function<void(Ctx&)>*>(b))(ctx);
+            });
+}
+
+void Network::round_raw(void* body, RoundThunk thunk) {
   DGR_CHECK_MSG(stats_.rounds < cfg_.max_rounds,
                 "round budget exhausted (" << cfg_.max_rounds << ")");
 
   std::fill(sends_this_round_.begin(), sends_this_round_.end(), 0);
-  for (auto& out : outbox_) out.clear();
+  for (auto& out : outboxes_) out.clear();
 
   // Run the per-node body. Nodes are independent by contract, so slots can
   // be processed in parallel; all randomness is per-slot, so the transcript
   // is identical for any thread count.
-  const unsigned threads =
-      std::min<unsigned>(std::max(1u, cfg_.threads),
-                         static_cast<unsigned>(n_));
-  if (threads <= 1) {
-    for (Slot s = 0; s < n_; ++s) {
-      if (crashed_[s]) continue;
-      Ctx ctx(*this, s);
-      body(ctx);
-    }
+  if (threads_ <= 1) {
+    run_slots(0, static_cast<Slot>(n_), 0, body, thunk);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    std::exception_ptr first_error;
-    std::mutex err_mu;
-    const std::size_t chunk = (n_ + threads - 1) / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-      const Slot lo = static_cast<Slot>(std::min<std::size_t>(t * chunk, n_));
-      const Slot hi =
-          static_cast<Slot>(std::min<std::size_t>((t + 1) * chunk, n_));
-      pool.emplace_back([&, lo, hi] {
-        try {
-          for (Slot s = lo; s < hi; ++s) {
-            if (crashed_[s]) continue;
-            Ctx ctx(*this, s);
-            body(ctx);
-          }
-        } catch (...) {
-          std::scoped_lock lk(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
+    const std::size_t chunk = (n_ + threads_ - 1) / threads_;
+    if (!pool_)
+      pool_ = std::make_unique<WorkerPool>(*this, threads_ - 1, chunk);
+    pool_->kick(body, thunk, threads_ - 1);
+    // The calling thread is worker 0; run its slice before blocking.
+    std::exception_ptr main_err;
+    try {
+      run_slots(0, static_cast<Slot>(std::min(chunk, n_)), 0, body, thunk);
+    } catch (...) {
+      main_err = std::current_exception();
     }
-    for (auto& th : pool) th.join();
-    if (first_error) std::rethrow_exception(first_error);
+    try {
+      pool_->wait();
+    } catch (...) {
+      if (!main_err) main_err = std::current_exception();
+    }
+    if (main_err) std::rethrow_exception(main_err);
   }
 
   deliver();
   ++stats_.rounds;
 }
 
+// The delivery pipeline. RNG-stream contract (the transcript): the per-round
+// delivery stream is consumed first by per-message drop draws in global
+// source-slot order, then by the oversubscription Fisher-Yates draws in
+// destination-slot order — exactly the order the seed engine used, so a
+// fixed seed reproduces the seed engine's outcomes regardless of the thread
+// count or of which internal path below runs.
 void Network::deliver() {
-  // Gather per-destination, iterating sources in slot order so delivery is
-  // deterministic regardless of execution threading.
-  auto& buckets = delivery_buckets_;
-  if (buckets.size() < n_) buckets.resize(n_);
-  for (auto& b : buckets) b.clear();
-
   Rng delivery_rng(hash_mix(cfg_.seed, 0xDE11FE12ULL, stats_.rounds));
 
+  // Pass 1 — drop/crash filtering and the counting-sort histogram. On the
+  // reliable fast path (no loss, no crashes, no trace) nothing can be
+  // dropped: the per-worker histograms Ctx::send maintained already hold the
+  // final counts, and they are folded during the layout pass below — no
+  // header re-stream at all. Otherwise the headers are walked in global
+  // source-slot order (worker arenas in slice order), consuming the delivery
+  // stream exactly as the serial seed engine did.
   std::uint64_t sent = 0;
   std::uint64_t dropped = 0;
-  std::uint64_t max_send = 0;
-  for (Slot s = 0; s < n_; ++s) {
-    max_send = std::max<std::uint64_t>(max_send, outbox_[s].size());
-    for (auto& out : outbox_[s]) {
-      ++sent;
-      // Link loss: the message silently disappears; the sender learns
-      // nothing (unlike a capacity bounce). A crashed destination behaves
-      // identically — the sender cannot tell the difference.
-      if (crashed_[out.dst] ||
-          (cfg_.drop_probability > 0.0 &&
-           delivery_rng.chance(cfg_.drop_probability))) {
-        ++dropped;
-        if (trace_)
-          trace_->record({stats_.rounds, s, out.dst, out.msg.tag,
-                          MessageOutcome::kDropped});
-        continue;
+  const bool lossy = cfg_.drop_probability > 0.0;
+  const bool fast = !lossy && crashed_n_ == 0 && !trace_;
+  if (!fast) {
+    dest_count_.assign(n_, 0);
+    for (auto& out : outboxes_) {
+      std::uint64_t* p = out.buf.get();
+      std::uint64_t* const end = p + out.len;
+      while (p < end) {
+        ++sent;
+        const Slot dst = rec_dst(p);
+        // Link loss: the message silently disappears; the sender learns
+        // nothing (unlike a capacity bounce). A crashed destination behaves
+        // identically — the sender cannot tell the difference.
+        if (crashed_[dst] ||
+            (lossy && delivery_rng.chance(cfg_.drop_probability))) {
+          ++dropped;
+          if (trace_)
+            trace_->record({stats_.rounds, rec_src(p), dst, rec_tag(p),
+                            MessageOutcome::kDropped});
+          rec_set_dst(p, kNoSlot);  // tombstone: placement skips it
+        } else {
+          ++dest_count_[dst];
+        }
+        p += rec_words(p);
       }
-      buckets[out.dst].emplace_back(s, std::move(out.msg));
     }
   }
-  stats_.messages_sent += sent;
-  stats_.messages_dropped += dropped;
+  std::uint64_t max_send = 0;
+  for (const int c : sends_this_round_)
+    max_send = std::max<std::uint64_t>(max_send, static_cast<std::uint64_t>(c));
   stats_.max_send_in_round = std::max(stats_.max_send_in_round, max_send);
 
-  for (auto& b : bounced_) b.clear();
-
+  // Pass 2 — per-destination layout and oversubscription draws, in
+  // destination-slot order. For each overflowing destination, draw the
+  // accepted capacity-sized subset now (partial Fisher-Yates over arrival
+  // indices) and record it as a bitmap so the placement pass can route each
+  // arrival in O(1).
   const auto cap = static_cast<std::size_t>(capacity_);
-  std::uint64_t delivered = 0;
-  std::uint64_t bounced = 0;
-  for (Slot d = 0; d < n_; ++d) {
-    auto& incoming = buckets[d];
-    auto& box = inbox_[d];
-    box.clear();
-    stats_.max_recv_in_round =
-        std::max<std::uint64_t>(stats_.max_recv_in_round, incoming.size());
-
-    if (incoming.size() > cap) {
-      DGR_CHECK_MSG(cfg_.overflow == OverflowPolicy::kBounce,
-                    "receive capacity exceeded at node "
-                        << ids_[d] << " (" << incoming.size() << " > " << cap
-                        << ") in strict mode");
-      // Accept a uniformly random cap-sized subset, preserving source order
-      // among the accepted (partial Fisher-Yates on indices).
-      std::vector<std::size_t> idx(incoming.size());
-      std::iota(idx.begin(), idx.end(), 0);
-      for (std::size_t i = 0; i < cap; ++i) {
-        const std::size_t j =
-            i + static_cast<std::size_t>(delivery_rng.below(idx.size() - i));
-        std::swap(idx[i], idx[j]);
-      }
-      std::sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(cap));
-      std::vector<bool> accepted(incoming.size(), false);
-      for (std::size_t i = 0; i < cap; ++i) accepted[idx[i]] = true;
-      for (std::size_t i = 0; i < incoming.size(); ++i) {
-        auto& [src, msg] = incoming[i];
-        if (trace_)
-          trace_->record({stats_.rounds, src, d, msg.tag,
-                          accepted[i] ? MessageOutcome::kDelivered
-                                      : MessageOutcome::kBounced});
-        if (accepted[i]) {
-          know_[d].learn(msg.src);
-          for (std::size_t w = 0; w < msg.size; ++w)
-            if (msg.id_mask & (1u << w)) know_[d].learn(msg.words[w]);
-          box.push_back(std::move(msg));
-          ++delivered;
-        } else {
-          bounced_[src].push_back({ids_[d], std::move(msg)});
-          ++bounced;
-        }
-      }
-    } else {
-      for (auto& [src, msg] : incoming) {
-        if (trace_)
-          trace_->record({stats_.rounds, src, d, msg.tag,
-                          MessageOutcome::kDelivered});
-        know_[d].learn(msg.src);
-        for (std::size_t w = 0; w < msg.size; ++w)
-          if (msg.id_mask & (1u << w)) know_[d].learn(msg.words[w]);
-        box.push_back(std::move(msg));
-        ++delivered;
-      }
+  if (fast) {
+    // Fold the per-worker send-time histograms into the final counts.
+    std::copy(outboxes_[0].hist.begin(), outboxes_[0].hist.end(),
+              dest_count_.begin());
+    for (unsigned t = 1; t < threads_; ++t) {
+      const auto& hist = outboxes_[t].hist;
+      for (std::size_t d = 0; d < n_; ++d) dest_count_[d] += hist[d];
     }
   }
-  stats_.messages_delivered += delivered;
-  stats_.messages_bounced += bounced;
+  ovf_dests_.clear();
+  ovf_bitmap_.clear();
+  std::size_t accept_total = 0;
+  std::size_t bounce_total = 0;
+  std::uint64_t max_recv = stats_.max_recv_in_round;
+  for (Slot d = 0; d < n_; ++d) {
+    const std::size_t m = dest_count_[d];
+    max_recv = std::max<std::uint64_t>(max_recv, m);
+    inbox_off_[d] = accept_total;
+    inbox_cur_[d] = static_cast<std::uint32_t>(accept_total);
+    if (m <= cap) {
+      accept_total += m;
+      continue;
+    }
+    DGR_CHECK_MSG(cfg_.overflow == OverflowPolicy::kBounce,
+                  "receive capacity exceeded at node "
+                      << ids_[d] << " (" << m << " > " << cap
+                      << ") in strict mode");
+    // Accept a uniformly random cap-sized subset, preserving source order
+    // among the accepted. The scratch is reused across destinations/rounds.
+    overflow_idx_.resize(m);
+    std::iota(overflow_idx_.begin(), overflow_idx_.end(), 0u);
+    for (std::size_t i = 0; i < cap; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(delivery_rng.below(m - i));
+      std::swap(overflow_idx_[i], overflow_idx_[j]);
+    }
+    const std::size_t boff = ovf_bitmap_.size();
+    bitmap_off_[d] = static_cast<std::uint32_t>(boff);
+    ovf_bitmap_.resize(boff + m);  // new bytes value-initialize to 0
+    for (std::size_t i = 0; i < cap; ++i)
+      ovf_bitmap_[boff + overflow_idx_[i]] = 1;
+    bounce_base_[d] = static_cast<std::uint32_t>(bounce_total);
+    bounce_cursor_[d] = static_cast<std::uint32_t>(bounce_total);
+    bounce_total += m - cap;
+    ovf_dests_.push_back(d);
+    inbox_cur_[d] |= kOvfBit;
+    accept_total += cap;
+  }
+  inbox_off_[n_] = accept_total;
+  stats_.max_recv_in_round = max_recv;
+  // The per-destination cursors are 32-bit (bit 31 of an inbox cursor is
+  // the overflow flag); a round this large would corrupt them silently.
+  DGR_CHECK_MSG(accept_total < kOvfBit && bounce_total < kOvfBit,
+                "round too large for 32-bit delivery cursors ("
+                    << accept_total << " accepted, " << bounce_total
+                    << " bounced)");
+  if (fast) sent = accept_total + bounce_total;  // nothing was dropped
+  stats_.messages_sent += sent;
+  stats_.messages_dropped += dropped;
+  // The bitmap buffer has its final size now; plant the per-destination
+  // accept-flag cursors the placement pass consumes in arrival order.
+  for (const Slot d : ovf_dests_)
+    ovf_cursor_[d] = ovf_bitmap_.data() + bitmap_off_[d];
+
+  if (bounce_cap_ < bounce_total)
+    grow_discard(bounce_refs_, bounce_cap_, bounce_total, 256);
+  if (inbox_cap_ < accept_total)
+    grow_discard(inbox_arena_, inbox_cap_, accept_total, 1024);
+  for (auto& b : bounced_) b.clear();
+  // In clique mode every node already knows every ID: skip the per-message
+  // knowledge update (and its random access into know_) entirely.
+  const bool learning = !is_clique();
+  Message* const inbox = inbox_arena_.get();
+
+  // Pass 3 — placement. Without a trace each payload is copied exactly once,
+  // from its outbox arena straight to its final inbox position, streaming
+  // sources in slot order; bounces are spilled as references and returned
+  // dest-major below, the order Ctx::bounced() has always exposed. With a
+  // trace attached, messages are reference-sorted per destination first so
+  // trace events keep the seed engine's exact dest-major order.
+  if (!trace_) {
+    for (const auto& out : outboxes_) {
+      const std::uint64_t* p = out.buf.get();
+      const std::uint64_t* const end = p + out.len;
+      while (p < end) {
+        const std::uint64_t* rec = p;
+        p += rec_words(p);
+        const Slot dst = rec_dst(rec);
+        if (dst == kNoSlot) continue;
+        const Slot src = rec_src(rec);
+        const std::uint32_t cur = inbox_cur_[dst];
+        if (cur & kOvfBit) {
+          if (*ovf_cursor_[dst]++ == 0) {
+            bounce_refs_[bounce_cursor_[dst]++] = {rec, src};
+            continue;
+          }
+        }
+        inbox_cur_[dst] = cur + 1;
+        Message& slot = inbox[cur & ~kOvfBit];
+        decode(rec, ids_[src], slot);
+        if (learning) learn_from(dst, src, slot);
+      }
+    }
+    for (const Slot d : ovf_dests_) {
+      const std::size_t lo = bounce_base_[d];
+      const std::size_t hi = lo + dest_count_[d] - cap;
+      for (std::size_t k = lo; k < hi; ++k) {
+        const auto& r = bounce_refs_[k];
+        Bounced& b = bounced_[r.src].emplace_back();
+        b.dst = ids_[d];
+        decode(r.enc, ids_[r.src], b.msg);
+      }
+    }
+  } else {
+    // Stable counting-sort of references by destination...
+    dest_off_.resize(n_ + 1);
+    dest_cursor_.resize(n_);
+    std::size_t total = 0;
+    for (Slot d = 0; d < n_; ++d) {
+      dest_off_[d] = total;
+      dest_cursor_[d] = total;
+      total += dest_count_[d];
+    }
+    dest_off_[n_] = total;
+    arena_.resize(total);
+    for (const auto& out : outboxes_) {
+      const std::uint64_t* p = out.buf.get();
+      const std::uint64_t* const end = p + out.len;
+      while (p < end) {
+        const std::uint64_t* rec = p;
+        p += rec_words(p);
+        const Slot dst = rec_dst(rec);
+        if (dst == kNoSlot) continue;
+        arena_[dest_cursor_[dst]++] = {rec, rec_src(rec)};
+      }
+    }
+    // ...then per-destination delivery in arrival order.
+    for (Slot d = 0; d < n_; ++d) {
+      const std::size_t lo = dest_off_[d];
+      const std::size_t m = dest_off_[d + 1] - lo;
+      const bool over = m > cap;
+      std::uint32_t cur = inbox_cur_[d] & ~kOvfBit;
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto [enc, src] = arena_[lo + i];
+        Message msg;
+        decode(enc, ids_[src], msg);
+        const bool accept = !over || ovf_bitmap_[bitmap_off_[d] + i] != 0;
+        if (trace_)
+          trace_->record({stats_.rounds, src, d, msg.tag,
+                          accept ? MessageOutcome::kDelivered
+                                 : MessageOutcome::kBounced});
+        if (accept) {
+          if (learning) learn_from(d, src, msg);
+          inbox[cur++] = msg;
+        } else {
+          bounced_[src].push_back({ids_[d], msg});
+        }
+      }
+      inbox_cur_[d] = cur;
+    }
+  }
+  stats_.messages_delivered += accept_total;
+  stats_.messages_bounced += bounce_total;
 }
 
 std::uint64_t Network::run_until(const std::function<bool()>& done,

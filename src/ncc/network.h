@@ -12,19 +12,42 @@
 // local state plus ctx.inbox(). Messages sent in round t are visible in
 // inboxes during round t+1. Referee-side accessors (slot_of, path_order, ...)
 // exist for verification and test assertions only.
+//
+// Datapath layout (perf-critical, see EXPERIMENTS.md for the benchmarks):
+//   - round bodies run on a persistent worker pool (Config::threads), woken
+//     by a generation barrier — no thread spawn/join per round;
+//   - each worker wire-encodes sends into a private flat outbox arena of
+//     variable-length records (a one-word message costs 24 bytes, not
+//     sizeof(Message)); arenas concatenate to global source-slot order,
+//     making the transcript identical for any thread count;
+//   - deliver() counting-sorts messages by destination and copies each
+//     payload exactly once, straight to its final position in a shared flat
+//     inbox arena that per-node inbox spans point into — no vector-of-
+//     vectors churn (with a Trace attached, a reference-sorting path
+//     reproduces the seed engine's exact event order for completed rounds;
+//     a strict-mode overflow now throws before any delivery events);
+//   - ID -> slot resolution is O(1) (IdMap) and knowledge is a slot-indexed
+//     bitset (Knowledge), so the send path does no hashing of std::unordered
+//     containers and no binary search; Ctx::send is header-inline (the build
+//     has no LTO) with its failure diagnostics outlined to Network::send_fail
+//     so round bodies pay one lean inlined path per message.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "ncc/config.h"
+#include "ncc/id_map.h"
 #include "ncc/ids.h"
 #include "ncc/knowledge.h"
 #include "ncc/message.h"
 #include "ncc/stats.h"
 #include "ncc/trace.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace dgr::ncc {
@@ -72,14 +95,56 @@ class Ctx {
 
  private:
   friend class Network;
-  Ctx(Network& net, Slot slot) : net_(net), slot_(slot) {}
+  struct OutArena;
+  Ctx(Network& net, Slot slot, OutArena* out)
+      : net_(net), slot_(slot), out_(out) {}
   Network& net_;
   Slot slot_;
+  OutArena* out_;  // this worker's flat outbox arena
+  int sends_ = 0;  // this node's sends this round (engine copies it out)
+};
+
+/// One worker's outbox: a single flat stream of variable-length wire
+/// records, each `2 + size` 64-bit words:
+///   word 0 — routing header: src slot | dst slot << 32
+///   word 1 — payload header: tag | size << 32 | id_mask << 40
+///   then only the `size` payload words actually in use.
+/// A one-word message costs 24 bytes instead of sizeof(Message) == 48, and
+/// appending costs one bounds check and three sequential stores. The stream
+/// is written and re-read strictly sequentially, so no per-record offsets
+/// exist; deliver() walks it with a cursor and materializes full Message
+/// structs only at their final inbox position.
+struct Ctx::OutArena {
+  std::unique_ptr<std::uint64_t[]> buf;
+  std::size_t len = 0;  // words used
+  std::size_t cap = 0;  // words allocated
+  // Per-destination send counts, maintained by Ctx::send so the reliable-
+  // network fast path in deliver() never has to re-stream the records just
+  // to build its counting-sort histogram. Zeroed per round in run_slots.
+  // Maintained even on lossy networks (where deliver() rebuilds counts
+  // post-drop and ignores this): set_drop_probability is a live knob, and
+  // gating the upkeep would put a branch on the reliable send path.
+  std::vector<std::uint32_t> hist;
+
+  void clear() { len = 0; }
+
+  std::uint64_t* append(std::size_t words) {
+    if (len + words > cap) [[unlikely]] grow(words);
+    std::uint64_t* p = buf.get() + len;
+    len += words;
+    return p;
+  }
+
+ private:
+  void grow(std::size_t need);  // cold: doubles capacity
 };
 
 class Network {
  public:
   Network(std::size_t n, Config cfg = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   std::size_t n() const { return n_; }
   const Config& config() const { return cfg_; }
@@ -87,6 +152,16 @@ class Network {
   bool is_clique() const { return cfg_.initial == InitialKnowledge::kClique; }
 
   /// Execute one synchronous round: run `body` once per node, then deliver.
+  /// The templated overload dispatches the body through a direct call (no
+  /// std::function type erasure) — use it in tight loops; the std::function
+  /// overload remains for stored/polymorphic bodies.
+  template <typename Body,
+            typename = std::enable_if_t<std::is_invocable_v<Body&, Ctx&>>>
+  void round(Body&& body) {
+    using B = std::remove_reference_t<Body>;
+    round_raw(const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+              [](void* b, Ctx& ctx) { (*static_cast<B*>(b))(ctx); });
+  }
   void round(const std::function<void(Ctx&)>& body);
 
   /// Run `body` every round until `done()` (referee-side predicate) returns
@@ -111,9 +186,14 @@ class Network {
   /// stops executing round bodies and every message addressed to it is
   /// lost (senders get no feedback — a crash is indistinguishable from
   /// loss, which is what makes it interesting).
-  void crash(Slot s) { crashed_[s] = 1; }
+  void crash(Slot s) {
+    if (!crashed_[s]) {
+      crashed_[s] = 1;
+      ++crashed_n_;
+    }
+  }
   bool is_crashed(Slot s) const { return crashed_[s] != 0; }
-  std::size_t crashed_count() const;
+  std::size_t crashed_count() const { return crashed_n_; }
 
   // --- Referee-side accessors (verification / test assertions only) ---
   NodeId id_of(Slot s) const { return ids_[s]; }
@@ -122,7 +202,12 @@ class Network {
   const std::vector<Slot>& path_order() const { return path_order_; }
   /// Number of distinct IDs node `s` currently knows.
   std::size_t knowledge_size(Slot s) const { return know_[s].size(n_); }
-  bool node_knows(Slot s, NodeId id) const { return know_[s].knows(id); }
+  bool node_knows(Slot s, NodeId id) const {
+    if (id == kNoNode) return false;
+    if (know_[s].knows_all()) return true;
+    const Slot t = id_map_.find(id);
+    return t != kNoSlot && know_[s].knows_slot(t);
+  }
   /// Maximum knowledge-set size over all nodes (information accounting for
   /// the §7 lower-bound experiments).
   std::size_t max_knowledge() const;
@@ -131,38 +216,153 @@ class Network {
  private:
   friend class Ctx;
 
+  using RoundThunk = void (*)(void*, Ctx&);
+  struct WorkerPool;
+
+  void round_raw(void* body, RoundThunk thunk);
+  void run_slots(Slot lo, Slot hi, unsigned arena, void* body,
+                 RoundThunk thunk);
   void deliver();
+  void learn_from(Slot dst, Slot src, const Message& msg);
+  /// Cold path: re-runs the send checks in their documented order to throw
+  /// the exact diagnostic; called only when the inlined fast checks failed.
+  /// Takes the wire-encoded record so the hot path never spills the Message.
+  [[noreturn]] void send_fail(Slot s, NodeId to, const std::uint64_t* rec,
+                              int sends) const;
 
   std::size_t n_;
   Config cfg_;
   int capacity_;
+  unsigned threads_;  // effective worker count, min(cfg.threads, n)
 
   std::vector<NodeId> ids_;               // slot -> ID
   std::vector<NodeId> sorted_ids_;        // ascending (NCC1 common knowledge)
   std::vector<Slot> path_order_;          // position -> slot
   std::vector<NodeId> initial_succ_;      // slot -> successor ID in Gk
   std::vector<Knowledge> know_;
+  IdMap id_map_;                          // O(1) NodeId -> Slot
 
-  // Round-transient state.
-  struct Outgoing {
-    Slot dst;
-    Message msg;
-  };
-  std::vector<std::vector<Outgoing>> outbox_;   // per source slot
+  // Round-transient state, all flat and reused across rounds: after the
+  // first few rounds the steady-state datapath performs no allocation.
+  std::vector<Ctx::OutArena> outboxes_;   // one arena per worker
   std::vector<int> sends_this_round_;
-  std::vector<std::vector<Message>> inbox_;     // delivered last round
-  std::vector<std::vector<Bounced>> bounced_;
-  std::vector<std::vector<std::pair<Slot, Message>>> delivery_buckets_;
+  /// Reference to a wire record in a worker outbox arena; used by both the
+  /// traced-path reference sort and the bounce spill.
+  struct EncodedRef {
+    const std::uint64_t* enc;
+    Slot src;
+  };
+  std::vector<std::uint32_t> dest_count_;   // counting-sort histogram
+  std::vector<std::size_t> dest_off_;       // destination offsets, n+1
+  std::vector<std::size_t> dest_cursor_;    // scatter cursors
+  std::vector<EncodedRef> arena_;           // traced-path reference sort
+  std::unique_ptr<Message[]> inbox_arena_;  // accepted messages, dest-major
+  std::size_t inbox_cap_ = 0;
+  std::vector<std::size_t> inbox_off_;      // per-node inbox offsets, n+1
+  // Per-node inbox write cursors; bit 31 flags an oversubscribed
+  // destination so the placement pass needs no second table lookup.
+  std::vector<std::uint32_t> inbox_cur_;
+  // Oversubscription bookkeeping (only entries for overflowing destinations
+  // are (re)initialized each round; see deliver()).
+  std::vector<Slot> ovf_dests_;                  // this round's overflowers
+  std::vector<std::uint8_t> ovf_bitmap_;         // accept flags by arrival
+  std::vector<std::uint32_t> bitmap_off_;        // dest -> ovf_bitmap_ base
+  std::vector<const std::uint8_t*> ovf_cursor_;  // dest -> next accept flag
+  std::vector<std::uint32_t> bounce_base_;       // dest -> bounce_refs_ base
+  std::vector<std::uint32_t> bounce_cursor_;     // dest -> bounce_refs_ cursor
+  std::unique_ptr<EncodedRef[]> bounce_refs_;    // bounced msgs, dest-major
+  std::size_t bounce_cap_ = 0;
+  std::vector<std::uint32_t> overflow_idx_;      // Fisher-Yates scratch
+  std::vector<std::vector<Bounced>> bounced_;    // per source slot
 
   std::vector<Rng> node_rng_;
   std::vector<std::uint8_t> crashed_;
+  std::size_t crashed_n_ = 0;
   Trace* trace_ = nullptr;
 
-  NetStats stats_;
+  std::unique_ptr<WorkerPool> pool_;  // lazily started on first parallel round
 
-  // ID -> slot lookup.
-  std::vector<std::pair<NodeId, Slot>> id_index_;  // sorted by id
+  NetStats stats_;
 };
+
+// --- Ctx inline datapath -----------------------------------------------
+// These sit on the innermost loop of every simulation; defining them here
+// (the build does not use LTO) lets round bodies inline the whole send path.
+
+inline NodeId Ctx::id() const { return net_.ids_[slot_]; }
+inline std::size_t Ctx::n() const { return net_.n_; }
+inline std::uint64_t Ctx::round() const { return net_.stats_.rounds; }
+inline int Ctx::capacity() const { return net_.capacity_; }
+inline int Ctx::sends_left() const { return net_.capacity_ - sends_; }
+
+inline bool Ctx::knows(NodeId id) const { return net_.node_knows(slot_, id); }
+
+inline NodeId Ctx::initial_successor() const {
+  return net_.initial_succ_[slot_];
+}
+
+inline std::span<const NodeId> Ctx::all_ids() const {
+  DGR_CHECK_MSG(net_.is_clique(),
+                "all_ids() is common knowledge only in the NCC1 model");
+  return net_.sorted_ids_;
+}
+
+inline void Ctx::send(NodeId to, Message m) {
+  const Knowledge& kn = net_.know_[slot_];
+  const Slot dst = net_.id_map_.find(to);
+  // A Message is a plain aggregate, so a hand-corrupted size could drive
+  // the encode loop out of bounds; reject it before touching the arena.
+  if (m.size > kMaxWords) [[unlikely]] {
+    DGR_CHECK_MSG(false, "message size " << static_cast<int>(m.size)
+                                         << " exceeds kMaxWords");
+  }
+  // Wire-encode speculatively, before validating: this way the cold failure
+  // path only needs the record pointer, the Message never has its address
+  // taken, and the compiler keeps it in registers. A failed check pops the
+  // record (the bytes stay intact for the diagnostic) before throwing, so a
+  // body that catches the CheckError leaves no trace of the rejected send.
+  // The sender's ID is stamped from the routing word at delivery, so it is
+  // not transmitted.
+  const std::size_t nw = m.size;
+  std::uint64_t* p = out_->append(2 + nw);
+  p[0] = static_cast<std::uint64_t>(slot_) |
+         (static_cast<std::uint64_t>(dst) << 32);
+  p[1] = static_cast<std::uint64_t>(m.tag) |
+         (static_cast<std::uint64_t>(m.size) << 32) |
+         (static_cast<std::uint64_t>(m.id_mask) << 40);
+  for (std::size_t w = 0; w < nw; ++w) p[2 + w] = m.words[w];
+  // Model rules 1 (sender knows destination) and 2 (send budget); see
+  // Network::send_fail for the individual diagnostics.
+  if (to == kNoNode || dst == kNoSlot ||
+      !(kn.knows_all() || kn.knows_slot(dst)) ||
+      sends_ >= net_.capacity_) [[unlikely]] {
+    out_->len -= 2 + nw;  // pop the rejected record
+    net_.send_fail(slot_, to, p, sends_);
+  }
+  // A node can only transmit IDs it actually knows (no referee leakage).
+  if (m.id_mask) {
+    for (std::size_t w = 0; w < m.size; ++w) {
+      if ((m.id_mask & (1u << w)) && !knows(m.words[w])) [[unlikely]] {
+        out_->len -= 2 + nw;  // pop the rejected record
+        net_.send_fail(slot_, to, p, sends_);
+      }
+    }
+  }
+  ++out_->hist[dst];
+  ++sends_;
+}
+
+inline std::span<const Message> Ctx::inbox() const {
+  const std::size_t lo = net_.inbox_off_[slot_];
+  const std::size_t hi = net_.inbox_off_[slot_ + 1];
+  return {net_.inbox_arena_.get() + lo, hi - lo};
+}
+
+inline std::span<const Bounced> Ctx::bounced() const {
+  return net_.bounced_[slot_];
+}
+
+inline Rng& Ctx::rng() { return net_.node_rng_[slot_]; }
 
 /// RAII helper attributing rounds to a named phase in NetStats::scope_rounds.
 class ScopedRounds {

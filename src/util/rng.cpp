@@ -1,7 +1,5 @@
 #include "util/rng.h"
 
-#include <cmath>
-
 namespace dgr {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -21,55 +19,10 @@ std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
   return h;
 }
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
 }
-
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) {
-  // Lemire's nearly-divisionless method.
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  std::uint64_t l = static_cast<std::uint64_t>(m);
-  if (l < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (l < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(below(span));
-}
-
-double Rng::uniform() {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::chance(double p) { return uniform() < p; }
 
 Rng Rng::split(std::uint64_t index) const {
   return Rng(hash_mix(s_[0] ^ s_[2], s_[1] ^ s_[3], index));

@@ -1,0 +1,293 @@
+// Determinism guarantees of the round-engine datapath.
+//
+// The engine promises bit-for-bit reproducible transcripts: for a fixed
+// seed, the delivered/bounced/dropped outcome of every message is identical
+// regardless of the worker thread count, and the oversubscription path
+// accepts a uniformly random capacity-sized subset drawn from the per-round
+// delivery stream in a fixed, documented order. These tests pin both
+// properties so engine rewrites cannot silently change the transcript.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "ncc/trace.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+using ncc::Ctx;
+using ncc::make_msg;
+using ncc::NodeId;
+using ncc::Slot;
+
+// Full-fidelity fingerprint of a finished simulation: every NetStats scalar
+// plus per-node knowledge sizes and an order-sensitive checksum of every
+// inbox and bounce observed by every node.
+struct RunFingerprint {
+  ncc::NetStats stats;
+  std::vector<std::size_t> knowledge;
+  std::vector<std::uint64_t> inbox_digest;
+  std::vector<std::uint64_t> bounce_digest;
+
+  bool operator==(const RunFingerprint& o) const {
+    return stats.rounds == o.stats.rounds &&
+           stats.messages_sent == o.stats.messages_sent &&
+           stats.messages_delivered == o.stats.messages_delivered &&
+           stats.messages_bounced == o.stats.messages_bounced &&
+           stats.messages_dropped == o.stats.messages_dropped &&
+           stats.max_send_in_round == o.stats.max_send_in_round &&
+           stats.max_recv_in_round == o.stats.max_recv_in_round &&
+           knowledge == o.knowledge && inbox_digest == o.inbox_digest &&
+           bounce_digest == o.bounce_digest;
+  }
+};
+
+// A seeded lossy + crashy workload: clique knowledge, every node floods a
+// random half of its budget (some destinations oversubscribe, so the bounce
+// path runs), links drop 20% of traffic, and the referee crashes a few nodes
+// mid-run. Exercises every branch of deliver(). With `traced` set a Trace is
+// attached, which routes delivery through the reference-sorting compat path —
+// its outcomes must be identical to the direct placement path.
+RunFingerprint run_lossy_crashy(unsigned threads, bool traced = false) {
+  constexpr std::size_t kN = 160;
+  ncc::Config cfg;
+  cfg.seed = 2024;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = threads;
+  cfg.drop_probability = 0.2;
+  ncc::Network net(kN, cfg);
+  ncc::Trace trace;
+  if (traced) net.set_trace(&trace);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(kN, 0);
+  fp.bounce_digest.assign(kN, 0);
+
+  for (int r = 0; r < 25; ++r) {
+    // Referee-side crash schedule (between rounds, like the §8 experiments).
+    if (r == 5) net.crash(3);
+    if (r == 5) net.crash(70);
+    if (r == 12) net.crash(141);
+    net.round([&](Ctx& ctx) {
+      auto& in = fp.inbox_digest[ctx.slot()];
+      for (const auto& m : ctx.inbox())
+        in = hash_mix(in, m.src, m.word(0));
+      auto& bo = fp.bounce_digest[ctx.slot()];
+      for (const auto& b : ctx.bounced()) bo = hash_mix(bo, b.dst, b.msg.tag);
+
+      const auto ids = ctx.all_ids();
+      const int sends = ctx.capacity() / 2;
+      for (int i = 0; i < sends; ++i) {
+        // Mostly uniform traffic, with a quarter aimed at a 4-node hot set
+        // so some destinations reliably oversubscribe and bounce.
+        const std::size_t pick = ctx.rng().chance(0.25)
+                                     ? ctx.rng().below(4)
+                                     : ctx.rng().below(ids.size());
+        ctx.send(ids[pick], make_msg(5).push(ctx.rng().below(1u << 20)));
+      }
+    });
+  }
+
+  fp.stats = net.stats();
+  for (Slot s = 0; s < kN; ++s) fp.knowledge.push_back(net.knowledge_size(s));
+  return fp;
+}
+
+TEST(EngineDeterminism, LossyCrashyTranscriptInvariantAcrossThreadCounts) {
+  const RunFingerprint serial = run_lossy_crashy(1);
+  EXPECT_TRUE(serial == run_lossy_crashy(2));
+  EXPECT_TRUE(serial == run_lossy_crashy(8));
+
+  // Attaching a trace switches deliver() onto its event-ordered compat path;
+  // the observable transcript must not change.
+  EXPECT_TRUE(serial == run_lossy_crashy(1, /*traced=*/true));
+  EXPECT_TRUE(serial == run_lossy_crashy(8, /*traced=*/true));
+
+  // Sanity: the workload really exercised every delivery branch.
+  EXPECT_GT(serial.stats.messages_dropped, 0u);
+  EXPECT_GT(serial.stats.messages_bounced, 0u);
+  EXPECT_GT(serial.stats.messages_delivered, 0u);
+}
+
+// The oversubscription path must accept exactly the subset selected by a
+// partial Fisher-Yates over arrival order, driven by the per-round delivery
+// stream Rng(hash_mix(seed, 0xDE11FE12, round)) — the contract the engine
+// has had since the seed. Reimplement the draw here and check the engine's
+// trace against it message by message.
+TEST(EngineDeterminism, OverflowBouncesExactReferenceSubset) {
+  constexpr std::size_t kN = 64;
+  constexpr std::uint64_t kSeed = 97;
+  ncc::Config cfg;
+  cfg.seed = kSeed;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  ncc::Network net(kN, cfg);
+  const auto cap = static_cast<std::size_t>(net.capacity());
+
+  ncc::Trace trace;
+  net.set_trace(&trace);
+  const NodeId target = net.id_of(0);
+  // Slots 1..63 each send one message to slot 0: 63 arrivals, capacity 24.
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() != 0) ctx.send(target, make_msg(1));
+  });
+  net.set_trace(nullptr);
+
+  const std::size_t arrivals = kN - 1;
+  ASSERT_GT(arrivals, cap);
+
+  // Reference draw. Arrival order is source-slot order (1, 2, ..., 63); no
+  // link loss is configured, so the round's delivery stream is consumed only
+  // by the subset selection.
+  Rng reference(hash_mix(kSeed, 0xDE11FE12ULL, 0));
+  std::vector<std::size_t> idx(arrivals);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(reference.below(idx.size() - i));
+    std::swap(idx[i], idx[j]);
+  }
+  std::vector<bool> accepted(arrivals, false);
+  for (std::size_t i = 0; i < cap; ++i) accepted[idx[i]] = true;
+
+  ASSERT_EQ(trace.events().size(), arrivals);
+  std::size_t delivered = 0;
+  for (const auto& e : trace.events()) {
+    ASSERT_GE(e.src, 1u);
+    const bool expect_deliver = accepted[e.src - 1];
+    EXPECT_EQ(e.outcome, expect_deliver ? ncc::MessageOutcome::kDelivered
+                                        : ncc::MessageOutcome::kBounced)
+        << "message from slot " << e.src;
+    delivered += (e.outcome == ncc::MessageOutcome::kDelivered);
+  }
+  EXPECT_EQ(delivered, cap);
+  EXPECT_EQ(net.stats().messages_bounced, arrivals - cap);
+}
+
+// Strict mode: exactly-capacity fan-in is legal, one more message throws.
+TEST(EngineDeterminism, StrictModeBoundaryExactCapacity) {
+  ncc::Config cfg;
+  cfg.seed = 31;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.overflow = ncc::OverflowPolicy::kStrict;
+
+  {
+    ncc::Network net(128, cfg);
+    const auto cap = static_cast<std::size_t>(net.capacity());
+    const NodeId target = net.id_of(0);
+    net.round([&](Ctx& ctx) {
+      if (ctx.slot() >= 1 && ctx.slot() <= cap) ctx.send(target, make_msg(1));
+    });
+    std::size_t seen = 0;
+    net.round([&](Ctx& ctx) {
+      if (ctx.slot() == 0) seen = ctx.inbox().size();
+    });
+    EXPECT_EQ(seen, cap);
+  }
+  {
+    ncc::Network net(128, cfg);
+    const auto cap = static_cast<std::size_t>(net.capacity());
+    const NodeId target = net.id_of(0);
+    EXPECT_THROW(
+        {
+          net.round([&](Ctx& ctx) {
+            if (ctx.slot() >= 1 && ctx.slot() <= cap + 1)
+              ctx.send(target, make_msg(1));
+          });
+          net.round([](Ctx&) {});
+        },
+        CheckError);
+  }
+}
+
+// A body may catch a send's CheckError and carry on (check.h documents the
+// throw for exactly that); the rejected message must leave no trace — not in
+// the outbox stream, not in the stats, and never in another node's inbox.
+TEST(EngineDeterminism, CaughtFailedSendLeavesNoTrace) {
+  ncc::Config cfg;
+  cfg.seed = 55;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  ncc::Network net(8, cfg);
+  const auto cap = net.capacity();
+  const NodeId hot = net.id_of(1);
+  const NodeId quiet = net.id_of(2);
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() == 5) {
+      for (int i = 0; i < cap; ++i) ctx.send(hot, make_msg(99).push(1));
+      EXPECT_THROW(ctx.send(hot, make_msg(99).push(1)), CheckError);
+    }
+    if (ctx.slot() == 0) ctx.send(quiet, make_msg(7).push(42));
+  });
+  std::size_t quiet_seen = 0;
+  std::size_t hot_seen = 0;
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() == 2) {
+      quiet_seen = ctx.inbox().size();
+      ASSERT_EQ(quiet_seen, 1u);
+      EXPECT_EQ(ctx.inbox()[0].tag, 7u);
+      EXPECT_EQ(ctx.inbox()[0].src, net.id_of(0));
+    }
+    if (ctx.slot() == 1) hot_seen = ctx.inbox().size();
+  });
+  EXPECT_EQ(quiet_seen, 1u);
+  EXPECT_EQ(hot_seen, static_cast<std::size_t>(cap));
+  EXPECT_EQ(net.stats().messages_sent, static_cast<std::uint64_t>(cap) + 1);
+}
+
+// Same property for the forwarded-ID (KT0 referee-leakage) check, which
+// rejects on the second validation branch.
+TEST(EngineDeterminism, CaughtUnknownForwardLeavesNoTrace) {
+  auto net = testing::make_ncc0(10, 21);
+  const auto& order = net.path_order();
+  const Slot head = order.front();
+  const NodeId succ = net.id_of(order[1]);
+  const NodeId stranger = net.id_of(order.back());
+  ASSERT_FALSE(net.node_knows(head, stranger));
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() != head) return;
+    EXPECT_THROW(ctx.send(succ, make_msg(1).push_id(stranger)), CheckError);
+    ctx.send(succ, make_msg(2).push(11));
+  });
+  std::size_t seen = 0;
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() != order[1]) return;
+    seen = ctx.inbox().size();
+    ASSERT_EQ(seen, 1u);
+    EXPECT_EQ(ctx.inbox()[0].tag, 2u);
+  });
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+}
+
+// A hand-corrupted Message::size (bypassing push()'s guard) must be rejected
+// before the wire encoder touches it, not read out of bounds.
+TEST(EngineDeterminism, CorruptMessageSizeRejected) {
+  auto net = testing::make_ncc1(4, 33);
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() != 0) return;
+    ncc::Message m = make_msg(3);
+    m.size = 9;  // > kMaxWords; only possible by direct field writes
+    EXPECT_THROW(ctx.send(net.id_of(1), m), CheckError);
+  });
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+TEST(EngineDeterminism, CrashedCountIsIncrementalAndIdempotent) {
+  auto net = testing::make_ncc0(50, 8);
+  EXPECT_EQ(net.crashed_count(), 0u);
+  net.crash(7);
+  EXPECT_EQ(net.crashed_count(), 1u);
+  net.crash(7);  // crashing a dead node is a no-op
+  EXPECT_EQ(net.crashed_count(), 1u);
+  net.crash(0);
+  net.crash(49);
+  EXPECT_EQ(net.crashed_count(), 3u);
+  EXPECT_TRUE(net.is_crashed(7));
+  EXPECT_FALSE(net.is_crashed(8));
+}
+
+}  // namespace
+}  // namespace dgr
