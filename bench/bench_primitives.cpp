@@ -2,7 +2,17 @@
 //   E1 (Thm 1 / Cor 2): BBST construction + positions in O(log n) rounds.
 //   E2 (Thm 3): distributed sorting in polylog rounds (ours: O(log^2 n)).
 //   E3 (Thms 4, 5): broadcast/aggregation O(log n); collection O(k+log n).
+//
+// Timing discipline: every benchmark uses manual timing scoped to the
+// primitive under test. The fixtures (network construction, undirecting Gk,
+// the BBST/skip-link overlays a primitive runs on) execute inside the
+// iteration but outside the clock — E3's aggregation wave is ~20ms of work
+// behind ~350ms of tree-building fixture at n = 64Ki, and wall-clocking the
+// fixture would drown the subject. Committed baseline: BENCH_primitives.json
+// (see EXPERIMENTS.md for before/after history and methodology).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench_common.h"
 #include "primitives/bbst.h"
@@ -17,6 +27,12 @@
 namespace dgr {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 void E1_BbstConstruction(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   double rounds = 0;
@@ -25,7 +41,9 @@ void E1_BbstConstruction(benchmark::State& state) {
     auto net = bench::make_net(n, 42);
     prim::PathOverlay path = prim::undirect_initial_path(net);
     const std::uint64_t before = net.stats().rounds;
+    const auto t0 = Clock::now();
     const prim::TreeOverlay tree = prim::build_bbst(net, path);
+    state.SetIterationTime(seconds_since(t0));
     rounds += static_cast<double>(net.stats().rounds - before);
     height = tree.height;
   }
@@ -34,7 +52,11 @@ void E1_BbstConstruction(benchmark::State& state) {
   state.counters["height"] = static_cast<double>(height);
   state.counters["height_bound"] = static_cast<double>(ceil_log2(n) + 1);
 }
-BENCHMARK(E1_BbstConstruction)->RangeMultiplier(4)->Range(256, 65536)->Iterations(2);
+BENCHMARK(E1_BbstConstruction)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Iterations(2)
+    ->UseManualTime();
 
 void E2_DistributedSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -48,7 +70,9 @@ void E2_DistributedSort(benchmark::State& state) {
     std::vector<std::uint64_t> key(n);
     for (auto& k : key) k = rng.below(n);
     const std::uint64_t before = net.stats().rounds;
+    const auto t0 = Clock::now();
     const auto sorted = prim::distributed_sort(net, path, skip, key, true);
+    state.SetIterationTime(seconds_since(t0));
     benchmark::DoNotOptimize(sorted.path.order.data());
     rounds += static_cast<double>(net.stats().rounds - before);
   }
@@ -56,7 +80,11 @@ void E2_DistributedSort(benchmark::State& state) {
   bench::report_rounds(state, rounds,
                        static_cast<double>(state.iterations()) * lg * lg);
 }
-BENCHMARK(E2_DistributedSort)->RangeMultiplier(4)->Range(256, 16384)->Iterations(2);
+BENCHMARK(E2_DistributedSort)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Iterations(2)
+    ->UseManualTime();
 
 void E3_AggregateAndBroadcast(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -67,15 +95,21 @@ void E3_AggregateAndBroadcast(benchmark::State& state) {
     const prim::TreeOverlay tree = prim::build_bbst(net, path);
     std::vector<std::uint64_t> v(n, 1);
     const std::uint64_t before = net.stats().rounds;
+    const auto t0 = Clock::now();
     const std::uint64_t total =
         prim::aggregate_and_broadcast(net, tree, v, prim::comb_sum);
+    state.SetIterationTime(seconds_since(t0));
     benchmark::DoNotOptimize(total);
     rounds += static_cast<double>(net.stats().rounds - before);
   }
   bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
                                           ceil_log2(n));
 }
-BENCHMARK(E3_AggregateAndBroadcast)->RangeMultiplier(4)->Range(256, 65536)->Iterations(2);
+BENCHMARK(E3_AggregateAndBroadcast)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Iterations(2)
+    ->UseManualTime();
 
 void E3_GlobalCollection(benchmark::State& state) {
   const std::size_t n = 4096;
@@ -93,7 +127,9 @@ void E3_GlobalCollection(benchmark::State& state) {
     }
     const ncc::Slot leader = path.order.back();
     const std::uint64_t before = net.stats().rounds;
+    const auto t0 = Clock::now();
     auto collected = prim::global_collect(net, tree, leader, has, token);
+    state.SetIterationTime(seconds_since(t0));
     benchmark::DoNotOptimize(collected.data());
     rounds += static_cast<double>(net.stats().rounds - before);
   }
@@ -102,7 +138,11 @@ void E3_GlobalCollection(benchmark::State& state) {
                        static_cast<double>(state.iterations()) *
                            (static_cast<double>(k) + ceil_log2(n)));
 }
-BENCHMARK(E3_GlobalCollection)->RangeMultiplier(4)->Range(16, 4096)->Iterations(2);
+BENCHMARK(E3_GlobalCollection)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Iterations(2)
+    ->UseManualTime();
 
 }  // namespace
 }  // namespace dgr

@@ -1,33 +1,38 @@
 #!/usr/bin/env sh
-# Regenerate the engine-throughput baseline committed at the repo root.
+# Regenerate the perf baselines committed at the repo root.
 #
 #   bench/export_bench_json.sh [build-dir] [min-time-seconds]
 #
-# Runs the raw round-engine benchmarks (bench_engine) with JSON output and
-# writes BENCH_engine.json next to this repo's README. Future PRs that touch
-# the engine datapath should re-run this on comparable hardware and eyeball
-# the messages/s counters against the committed baseline — see EXPERIMENTS.md
-# for how to read the file. CI runs the same binary with a tiny min-time as a
-# smoke test and uploads its JSON as an artifact.
+# Runs the raw round-engine benchmarks (bench_engine) and the §3-primitives
+# benchmarks (bench_primitives) with JSON output and writes
+# BENCH_engine.json / BENCH_primitives.json next to this repo's README.
+# Future PRs that touch the engine datapath or the primitives should re-run
+# this on comparable hardware and eyeball the messages/s (engine) and
+# real_time (primitives) counters against the committed baselines — see
+# EXPERIMENTS.md for how to read the files. CI runs the same binaries with a
+# tiny min-time as a smoke test and uploads their JSON as artifacts.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 min_time=${2:-0.1}
 
-bench_bin="$build_dir/bench/bench_engine"
-if [ ! -x "$bench_bin" ]; then
-  echo "error: $bench_bin not found or not executable." >&2
-  echo "Configure and build first:  cmake -B build -S . && cmake --build build -j" >&2
-  exit 1
-fi
+run_bench() {
+  bench_bin="$build_dir/bench/$1"
+  out="$repo_root/$2"
+  if [ ! -x "$bench_bin" ]; then
+    echo "error: $bench_bin not found or not executable." >&2
+    echo "Configure and build first:  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+  "$bench_bin" \
+    --benchmark_format=json \
+    --benchmark_min_time="$min_time" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    > /dev/null
+  echo "wrote $out"
+}
 
-out="$repo_root/BENCH_engine.json"
-"$bench_bin" \
-  --benchmark_format=json \
-  --benchmark_min_time="$min_time" \
-  --benchmark_out="$out" \
-  --benchmark_out_format=json \
-  > /dev/null
-
-echo "wrote $out"
+run_bench bench_engine BENCH_engine.json
+run_bench bench_primitives BENCH_primitives.json

@@ -56,6 +56,16 @@ struct Config {
   /// together with the reliable-exchange primitive.
   double drop_probability = 0.0;
 
+  /// Active-set scheduling for Network::round_active (true, the default):
+  /// the round body runs only for slots that received a message, hold a
+  /// bounce, or were explicitly woken. With false, round_active falls back
+  /// to dense dispatch (the body runs for every slot) while keeping the
+  /// same active-set bookkeeping and termination — bodies are required to
+  /// be silent for inactive slots, so the transcript is bit-for-bit
+  /// identical either way. The dense fallback exists as the reference mode
+  /// the EngineDeterminism equivalence tests compare against.
+  bool sparse_rounds = true;
+
   /// Randomly permute the path order (true) or use slot order (false —
   /// convenient for unit tests and for reproducing the paper's figures).
   bool shuffle_path = true;

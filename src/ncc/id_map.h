@@ -7,9 +7,16 @@
 //     false, and any future contiguous assignment), find() is a subtraction;
 //   - hashed: otherwise an open-addressing table with linear probing and a
 //     Fibonacci multiply-shift hash, sized to a power of two at load factor
-//     <= 0.5. Lookups touch one cache line in the common case — no pointer
-//     chasing, no modulo, no std::hash indirection.
-// The table is built once at Network construction and never mutated.
+//     <= 0.5. Entries are 8 bytes — a truncated 32-bit key tag plus the
+//     slot — so the whole table is half the size of a (u64 key, slot)
+//     layout and stays cache-resident far longer; a tag match is verified
+//     against the authoritative slot -> ID array (a dense, slot-indexed
+//     lookup) before it is trusted, which also disambiguates genuine
+//     32-bit tag collisions.
+// The table is built once at Network construction and never mutated. find()
+// sits on the engine's innermost loop (every send resolves its destination
+// and every forwarded-ID check resolves the ID), so its footprint is the
+// datapath's footprint.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +30,10 @@ namespace dgr::ncc {
 class IdMap {
  public:
   /// (Re)build from the slot -> ID table. IDs must be unique and non-zero.
+  /// `ids` must stay alive and unchanged for the lifetime of the map (the
+  /// Network owns both and never mutates the ID assignment).
   void build(const std::vector<NodeId>& ids) {
+    ids_ = &ids;
     n_ = ids.size();
     dense_ = true;
     for (std::size_t s = 0; s < n_; ++s) {
@@ -43,12 +53,12 @@ class IdMap {
       cap <<= 1;
       --shift_;
     }
-    table_.assign(cap, Entry{kNoNode, kNoSlot});
+    table_.assign(cap, Entry{0, kNoSlot});
     const std::size_t mask = cap - 1;
     for (std::size_t s = 0; s < n_; ++s) {
       std::size_t h = probe_start(ids[s]);
-      while (table_[h].key != kNoNode) h = (h + 1) & mask;
-      table_[h] = {ids[s], static_cast<Slot>(s)};
+      while (table_[h].slot != kNoSlot) h = (h + 1) & mask;
+      table_[h] = {static_cast<std::uint32_t>(ids[s]), static_cast<Slot>(s)};
     }
   }
 
@@ -58,19 +68,24 @@ class IdMap {
     if (dense_) {
       return id <= n_ ? static_cast<Slot>(id - 1) : kNoSlot;
     }
+    const std::vector<NodeId>& ids = *ids_;
+    const std::uint32_t tag = static_cast<std::uint32_t>(id);
     const std::size_t mask = table_.size() - 1;
     std::size_t h = probe_start(id);
-    while (table_[h].key != kNoNode) {
-      if (table_[h].key == id) return table_[h].slot;
+    while (table_[h].slot != kNoSlot) {
+      // Tag hit: confirm against the authoritative slot -> ID array (two
+      // known IDs may share the low 32 bits; a wrong slot must not leak).
+      if (table_[h].tag == tag && ids[table_[h].slot] == id)
+        return table_[h].slot;
       h = (h + 1) & mask;
     }
     return kNoSlot;
   }
 
  private:
-  // Key and slot share an entry so a hit costs a single cache-line touch.
+  // Truncated key + slot in 8 bytes; kNoSlot marks an empty entry.
   struct Entry {
-    NodeId key;  // kNoNode == empty
+    std::uint32_t tag;  // low 32 bits of the NodeId
     Slot slot;
   };
 
@@ -78,6 +93,7 @@ class IdMap {
     return static_cast<std::size_t>((id * 0x9E3779B97F4A7C15ULL) >> shift_);
   }
 
+  const std::vector<NodeId>* ids_ = nullptr;
   std::size_t n_ = 0;
   bool dense_ = true;
   unsigned shift_ = 64;           // 64 - log2(table size)

@@ -1,4 +1,34 @@
 #include "ncc/knowledge.h"
 
-// Header-only (the bitset operations must inline into the engine datapath);
-// the translation unit anchors the target.
+// The hot membership/insert paths are header-inline; only table growth and
+// the sparse -> dense promotion live here (cold by construction: a node
+// pays them O(log known) times over a whole simulation).
+
+namespace dgr::ncc {
+
+void Knowledge::grow() {
+  const std::size_t next = tab_.size() * 2;
+  const std::size_t bitset_words = (n_ + 63) / 64;
+  if (next * sizeof(std::uint32_t) >= bitset_words * sizeof(std::uint64_t)) {
+    // Promote: the doubled table would use at least the bitset's memory.
+    words_.assign(bitset_words, 0);
+    for (const std::uint32_t v : tab_) {
+      if (v != kEmpty) words_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
+    tab_.clear();
+    tab_.shrink_to_fit();
+    dense_ = true;
+    return;
+  }
+  std::vector<std::uint32_t> old = std::move(tab_);
+  tab_.assign(next, kEmpty);
+  const std::size_t mask = next - 1;
+  for (const std::uint32_t v : old) {
+    if (v == kEmpty) continue;
+    std::size_t i = probe_start(v, mask);
+    while (tab_[i] != kEmpty) i = (i + 1) & mask;
+    tab_[i] = v;
+  }
+}
+
+}  // namespace dgr::ncc

@@ -4,12 +4,17 @@
 // monotonically: initial knowledge, sender IDs of delivered messages, and ID
 // words carried in payloads.
 //
-// Representation: a dense bitset indexed by the simulator's Slot (the
-// Network translates NodeId <-> Slot with its O(1) IdMap), plus an
-// incrementally maintained population count. knows/learn are a shift and a
-// mask — no hashing on the datapath — and size() is O(1), so the referee's
-// max_knowledge()/total_knowledge() accounting is a linear scan of counters
-// rather than n hash-set size calls.
+// Representation: a sparse-to-dense hybrid keyed by the simulator's Slot
+// (the Network translates NodeId <-> Slot with its O(1) IdMap). Most nodes
+// in the NCC protocols only ever learn O(log n) IDs (path neighbours, level
+// links, skip links, sort partners), so knowledge starts as a small
+// open-addressing slot table — 256 bytes per node (kMinCap entries)
+// instead of the n/8-byte bitset, which at n = 64Ki kept a 512MB working
+// set and made every delivery-time learn a DRAM miss. A node whose table would outgrow the
+// bitset is promoted to the dense form (growth is the cold path, out of
+// line in knowledge.cpp). The population count is maintained incrementally,
+// so size() stays O(1) and the referee's max_knowledge()/total_knowledge()
+// accounting is a linear scan of counters.
 #pragma once
 
 #include <cstddef>
@@ -22,17 +27,25 @@ namespace dgr::ncc {
 
 class Knowledge {
  public:
-  /// Size the bitset for an n-node network; forgets everything known.
+  /// Size for an n-node network; forgets everything known.
   void init(std::size_t n) {
-    words_.assign((n + 63) / 64, 0);
-    known_ = 0;
+    n_ = n;
     all_ = false;
+    dense_ = false;
+    known_ = 0;
+    hot_id_ = kNoNode;
+    hot_slot_ = kNoSlot;
+    tab_.assign(kMinCap, kEmpty);
+    words_.clear();
+    words_.shrink_to_fit();
   }
 
   /// NCC1: knows every ID; the set is not materialized.
   void set_all() {
     all_ = true;
     known_ = 0;
+    tab_.clear();
+    tab_.shrink_to_fit();
     words_.clear();
     words_.shrink_to_fit();
   }
@@ -40,24 +53,84 @@ class Knowledge {
   bool knows_all() const { return all_; }
 
   bool knows_slot(Slot s) const {
-    return all_ || ((words_[s >> 6] >> (s & 63)) & 1u) != 0;
+    if (all_) return true;
+    if (dense_) return ((words_[s >> 6] >> (s & 63)) & 1u) != 0;
+    const std::size_t mask = tab_.size() - 1;
+    std::size_t i = probe_start(s, mask);
+    for (;;) {
+      const std::uint32_t v = tab_[i];
+      if (v == s) return true;
+      if (v == kEmpty) return false;
+      i = (i + 1) & mask;
+    }
   }
 
   void learn_slot(Slot s) {
     if (all_) return;
-    std::uint64_t& w = words_[s >> 6];
-    const std::uint64_t bit = std::uint64_t{1} << (s & 63);
-    known_ += static_cast<std::size_t>((w & bit) == 0);
-    w |= bit;
+    if (dense_) {
+      std::uint64_t& w = words_[s >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (s & 63);
+      known_ += static_cast<std::size_t>((w & bit) == 0);
+      w |= bit;
+      return;
+    }
+    const std::size_t mask = tab_.size() - 1;
+    std::size_t i = probe_start(s, mask);
+    for (;;) {
+      const std::uint32_t v = tab_[i];
+      if (v == s) return;
+      if (v == kEmpty) break;
+      i = (i + 1) & mask;
+    }
+    tab_[i] = s;
+    ++known_;
+    // Keep the load factor under 1/2; growth may promote to the bitset.
+    if (known_ * 2 >= tab_.size()) grow();
   }
 
   /// Number of distinct IDs known; n must be supplied for the NCC1 case.
   std::size_t size(std::size_t n) const { return all_ ? n : known_; }
 
+  /// One-entry positive cache over an (ID, slot) pair. Knowledge grows
+  /// monotonically and IDs are unique, so "this ID was once verified known
+  /// / once learned, and it lives in this slot" can never go stale —
+  /// callers use it to skip the NodeId -> Slot resolution plus the table
+  /// probe for the common case of the same ID being re-verified round
+  /// after round (a sort record forwarded through consecutive stages, a
+  /// broadcast value re-flooded). Mutable: it is a cache, updated from
+  /// const verification paths; each node's knowledge is only ever touched
+  /// by the worker that owns the slot (or by the single-threaded delivery
+  /// pass), so there is no race.
+  bool hot_id_is(NodeId id) const { return id == hot_id_; }
+  Slot hot_slot() const { return hot_slot_; }
+  void set_hot(NodeId id, Slot s) const {
+    hot_id_ = id;
+    hot_slot_ = s;
+  }
+
  private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;  // > any valid Slot
+  // 64 entries (256B/node) from the start: the overlay-construction
+  // protocols teach a node ~2 log n IDs, and starting smaller made the
+  // engine spend measurable time rehashing tables mid-simulation.
+  static constexpr std::size_t kMinCap = 64;
+
+  static std::size_t probe_start(Slot s, std::size_t mask) {
+    return (static_cast<std::uint32_t>(s) * 2654435761u) & mask;
+  }
+
+  /// Cold path: double the table, or promote to the dense bitset once the
+  /// doubled table would cost at least as much memory.
+  void grow();
+
   bool all_ = false;
+  bool dense_ = false;
   std::size_t known_ = 0;
-  std::vector<std::uint64_t> words_;  // bit s => knows the node in slot s
+  std::size_t n_ = 0;
+  mutable NodeId hot_id_ = kNoNode;   // see hot_id_is()
+  mutable Slot hot_slot_ = kNoSlot;
+  std::vector<std::uint32_t> tab_;    // sparse: open-addressing slot table
+  std::vector<std::uint64_t> words_;  // dense: bit s => knows slot s
 };
 
 }  // namespace dgr::ncc

@@ -1,9 +1,11 @@
 #include "ncc/network.h"
 
 #include <algorithm>
+#include <bit>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <iterator>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -41,14 +43,33 @@ inline void rec_set_dst(std::uint64_t* p, Slot dst) {
 inline std::uint32_t rec_tag(const std::uint64_t* p) {
   return static_cast<std::uint32_t>(p[1]);
 }
-/// Total 64-bit words the record at `p` occupies.
-inline std::size_t rec_words(const std::uint64_t* p) {
-  return 2 + ((p[1] >> 32) & 0xffu);
+/// Total 64-bit words the record at `p` occupies. Learning (non-clique)
+/// networks append one trailer word per ID-mask payload word (the ID's
+/// slot, resolved at send time); `trailered` says whether this network's
+/// records carry that trailer.
+inline std::size_t rec_words(const std::uint64_t* p, bool trailered) {
+  const std::uint64_t h = p[1];
+  std::size_t wsz = 2 + ((h >> 32) & 0xffu);
+  if (trailered)
+    wsz += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>((h >> 40) & 0xffu)));
+  return wsz;
+}
+
+/// ID-word slot trailer of a record (valid only on trailered records).
+inline const std::uint64_t* rec_trailer(const std::uint64_t* p) {
+  return p + 2 + ((p[1] >> 32) & 0xffu);
 }
 
 /// High bit of an inbox cursor: the destination is oversubscribed this
 /// round, so acceptance consults its overflow-bitmap cursor.
 constexpr std::uint32_t kOvfBit = 0x80000000u;
+
+/// Rounds touching at least n/kDenseSweep slots switch from list-driven
+/// scatters (sort the touched list, zero entries one by one) to sequential
+/// full sweeps — at that density the O(n) streaming pass is cheaper than
+/// k log k sorting and cache-random stores.
+constexpr std::size_t kDenseSweep = 16;
 
 /// Grow-by-doubling for the round-scratch buffers whose contents are fully
 /// rewritten every round — old contents are deliberately discarded.
@@ -61,15 +82,31 @@ void grow_discard(std::unique_ptr<T[]>& buf, std::size_t& cap,
   cap = next;
 }
 
-/// Materialize a full Message from its wire record; unused payload words
-/// are zeroed, matching what the pre-encoding engine delivered.
+/// dst = dst ∪ src for sorted unique slot lists; no-ops skip the copy, so
+/// the common case (one nonempty contributor) costs a single assign.
+void sorted_union_into(std::vector<Slot>& dst, const std::vector<Slot>& src,
+                       std::vector<Slot>& scratch) {
+  if (src.empty()) return;
+  if (dst.empty()) {
+    dst = src;
+    return;
+  }
+  scratch.clear();
+  std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                 std::back_inserter(scratch));
+  dst.swap(scratch);
+}
+
+/// Materialize a full Message from its wire record. Only the `size` payload
+/// words in use are written; Message::word()/id_word() bound every read by
+/// size, so the bytes past it are never observable — skipping the zero-fill
+/// keeps 24B of stores per one-word message off the delivery path.
 inline void decode(const std::uint64_t* p, NodeId src, Message& out) {
   const std::uint64_t h = p[1];
   out.tag = static_cast<std::uint32_t>(h);
   const auto size = static_cast<std::uint8_t>(h >> 32);
   out.size = size;
   out.id_mask = static_cast<std::uint8_t>(h >> 40);
-  out.words = {};
   for (std::uint8_t w = 0; w < size; ++w) out.words[w] = p[2 + w];
   out.src = src;
 }
@@ -80,20 +117,18 @@ inline void decode(const std::uint64_t* p, NodeId src, Message& out) {
 
 // Persistent round-body workers, woken by a generation barrier. The pool
 // owns threads for slices 1..threads_-1; the caller's thread always runs
-// slice 0, so threads_ == 1 never touches the pool at all. Slot slices are
-// fixed at construction, which both avoids rebalancing bookkeeping and keeps
-// the slice -> outbox-arena mapping stable (arena concatenation order is the
-// determinism contract; see deliver()).
+// slice 0, so threads_ == 1 never touches the pool at all. Worker t reads
+// its slice bounds from net.worker_span_[t] each round (execute_round
+// writes them before kick() publishes the generation): dense rounds slice
+// the slot range, active rounds slice the sorted active list. Either way
+// the slices are contiguous and ascending, so the slice -> outbox-arena
+// mapping keeps arena concatenation in global slot order — the determinism
+// contract; see deliver().
 struct Network::WorkerPool {
-  WorkerPool(Network& net, unsigned nworkers, std::size_t chunk)
-      : net_(net) {
+  WorkerPool(Network& net, unsigned nworkers) : net_(net) {
     threads_.reserve(nworkers);
     for (unsigned t = 1; t <= nworkers; ++t) {
-      const Slot lo =
-          static_cast<Slot>(std::min<std::size_t>(t * chunk, net.n_));
-      const Slot hi =
-          static_cast<Slot>(std::min<std::size_t>((t + 1) * chunk, net.n_));
-      threads_.emplace_back([this, t, lo, hi] { worker_main(t, lo, hi); });
+      threads_.emplace_back([this, t] { worker_main(t); });
     }
   }
 
@@ -134,11 +169,13 @@ struct Network::WorkerPool {
   }
 
  private:
-  void worker_main(unsigned t, Slot lo, Slot hi) {
+  void worker_main(unsigned t) {
     std::uint64_t seen = 0;
     for (;;) {
       void* body = nullptr;
       RoundThunk thunk = nullptr;
+      std::size_t lo = 0;
+      std::size_t hi = 0;
       {
         std::unique_lock lk(mu_);
         cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
@@ -146,6 +183,8 @@ struct Network::WorkerPool {
         seen = generation_;
         body = body_;
         thunk = thunk_;
+        lo = net_.worker_span_[t].first;
+        hi = net_.worker_span_[t].second;
       }
       try {
         net_.run_slots(lo, hi, t, body, thunk);
@@ -239,10 +278,13 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
 
   outboxes_.resize(threads_);
   for (auto& out : outboxes_) out.hist.assign(n, 0);
-  dest_count_.resize(n);
-  sends_this_round_.assign(n, 0);
-  inbox_off_.assign(n + 1, 0);
+  dest_count_.assign(n, 0);  // invariant: all-zero between rounds
+  dest_off_.resize(n);
+  dest_cursor_.resize(n);
+  inbox_lo_.assign(n, 0);
+  inbox_len_.assign(n, 0);  // invariant: nonzero only for inbox_dests_
   inbox_cur_.resize(n);
+  worker_span_.resize(threads_);
   bitmap_off_.resize(n);
   ovf_cursor_.resize(n);
   bounce_base_.resize(n);
@@ -305,33 +347,18 @@ void Network::send_fail(Slot s, NodeId to, const std::uint64_t* rec,
   std::abort();  // silence [[noreturn]] warnings; DGR_CHECK above throws
 }
 
-// Delivery teaches the receiver the sender's ID plus every ID word in the
-// payload (the packet-header analogy from message.h). Send-side checks
-// guarantee every forwarded ID names a real node whenever the receiver
-// actually materializes a set, so the find() cannot miss on that path.
-void Network::learn_from(Slot dst, Slot src, const Message& msg) {
-  Knowledge& k = know_[dst];
-  if (k.knows_all()) return;
-  k.learn_slot(src);
-  for (std::size_t w = 0; w < msg.size; ++w) {
-    if (msg.id_mask & (1u << w)) {
-      const Slot ws = id_map_.find(msg.words[w]);
-      if (ws != kNoSlot) k.learn_slot(ws);
-    }
-  }
-}
-
-void Network::run_slots(Slot lo, Slot hi, unsigned arena, void* body,
-                        RoundThunk thunk) {
+void Network::run_slots(std::size_t lo, std::size_t hi, unsigned arena,
+                        void* body, RoundThunk thunk) {
   auto* out = &outboxes_[arena];
-  std::fill(out->hist.begin(), out->hist.end(), 0u);
-  for (Slot s = lo; s < hi; ++s) {
+  const Slot* list = round_list_;  // null => dense: index i IS the slot
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Slot s = list ? list[i] : static_cast<Slot>(i);
     if (crashed_[s]) continue;
     Ctx ctx(*this, s, out);
     thunk(body, ctx);
-    // The send budget is tracked in the (register-resident) Ctx; persist it
-    // for the max_send statistic and the cold-path diagnostics.
-    sends_this_round_[s] = ctx.sends_;
+    // The send budget is tracked in the (register-resident) Ctx; fold it
+    // into the per-arena max for the max_send statistic.
+    if (ctx.sends_ > out->max_send) out->max_send = ctx.sends_;
   }
 }
 
@@ -342,27 +369,103 @@ void Network::round(const std::function<void(Ctx&)>& body) {
             });
 }
 
+void Network::round_active(const std::function<void(Ctx&)>& body) {
+  round_active_raw(const_cast<void*>(static_cast<const void*>(&body)),
+                   [](void* b, Ctx& ctx) {
+                     (*static_cast<const std::function<void(Ctx&)>*>(b))(ctx);
+                   });
+}
+
 void Network::round_raw(void* body, RoundThunk thunk) {
+  round_list_ = nullptr;
+  execute_round(n_, body, thunk);
+}
+
+void Network::round_active_raw(void* body, RoundThunk thunk) {
+  ensure_frontier();
+  flush_active();
+  // The frontier becomes round-owned: deliver() rebuilds active_ for the
+  // next round while the workers read this one's list.
+  run_list_.swap(active_);
+  active_.clear();
+  if (cfg_.sparse_rounds) {
+    round_list_ = run_list_.data();
+    execute_round(run_list_.size(), body, thunk);
+    round_list_ = nullptr;
+  } else {
+    // Dense reference mode: bodies are inactive-silent by contract, so
+    // dispatching every slot must yield a bit-identical transcript.
+    round_list_ = nullptr;
+    execute_round(n_, body, thunk);
+  }
+}
+
+void Network::ensure_frontier() {
+  if (frontier_track_) return;
+  frontier_track_ = true;
+  std::sort(bounce_srcs_.begin(), bounce_srcs_.end());
+  flush_active();
+  sorted_union_into(active_, inbox_dests_, active_scratch_);
+  sorted_union_into(active_, bounce_srcs_, active_scratch_);
+}
+
+void Network::flush_active() {
+  if (!active_dirty_) return;
+  if (!std::is_sorted(active_.begin(), active_.end()))
+    std::sort(active_.begin(), active_.end());
+  active_.erase(std::unique(active_.begin(), active_.end()), active_.end());
+  active_dirty_ = false;
+}
+
+// The per-worker-grain below which a sparse round skips the pool barrier
+// and runs on the calling thread. Arena placement does not affect the
+// transcript (slices stay in slot order either way), so this is a pure
+// scheduling choice.
+namespace {
+constexpr std::size_t kSparseParallelGrain = 2048;
+}  // namespace
+
+void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
   DGR_CHECK_MSG(stats_.rounds < cfg_.max_rounds,
                 "round budget exhausted (" << cfg_.max_rounds << ")");
 
-  std::fill(sends_this_round_.begin(), sends_this_round_.end(), 0);
-  for (auto& out : outboxes_) out.clear();
+  // Reset per-round arena state. The touched/count lists are normally empty
+  // here (deliver() consumed them); after a round aborted by a body or
+  // strict-mode exception they heal the partial state, keeping the
+  // between-rounds invariants (hist, dest_count_, inbox_len_ all zero).
+  for (auto& out : outboxes_) {
+    out.clear();
+    out.max_send = 0;
+    for (const Slot d : out.touched) out.hist[d] = 0;
+    out.touched.clear();
+    out.wake.clear();
+  }
+  for (const Slot d : touched_dests_) {
+    dest_count_[d] = 0;
+    inbox_len_[d] = 0;
+  }
+  touched_dests_.clear();
 
   // Run the per-node body. Nodes are independent by contract, so slots can
   // be processed in parallel; all randomness is per-slot, so the transcript
-  // is identical for any thread count.
-  if (threads_ <= 1) {
-    run_slots(0, static_cast<Slot>(n_), 0, body, thunk);
+  // is identical for any thread count. Tiny active sets skip the barrier.
+  const bool parallel =
+      threads_ > 1 && (!round_list_ || items >= kSparseParallelGrain);
+  if (!parallel) {
+    run_slots(0, items, 0, body, thunk);
   } else {
-    const std::size_t chunk = (n_ + threads_ - 1) / threads_;
-    if (!pool_)
-      pool_ = std::make_unique<WorkerPool>(*this, threads_ - 1, chunk);
+    const std::size_t chunk = (items + threads_ - 1) / threads_;
+    for (unsigned t = 0; t < threads_; ++t) {
+      worker_span_[t] = {std::min<std::size_t>(t * chunk, items),
+                         std::min<std::size_t>((t + 1) * chunk, items)};
+    }
+    if (!pool_) pool_ = std::make_unique<WorkerPool>(*this, threads_ - 1);
     pool_->kick(body, thunk, threads_ - 1);
     // The calling thread is worker 0; run its slice before blocking.
     std::exception_ptr main_err;
     try {
-      run_slots(0, static_cast<Slot>(std::min(chunk, n_)), 0, body, thunk);
+      run_slots(worker_span_[0].first, worker_span_[0].second, 0, body,
+                thunk);
     } catch (...) {
       main_err = std::current_exception();
     }
@@ -384,22 +487,47 @@ void Network::round_raw(void* body, RoundThunk thunk) {
 // destination-slot order — exactly the order the seed engine used, so a
 // fixed seed reproduces the seed engine's outcomes regardless of the thread
 // count or of which internal path below runs.
+//
+// Sparse datapath: every pass below walks lists that name exactly the slots
+// involved this round (touched destinations, bounce sources, wakes), so a
+// round's delivery cost is O(messages + slots touched), independent of n.
+// Destination iteration sorts touched_dests_ first, which keeps the
+// oversubscription draws in destination-slot order — the same order the
+// dense full-range sweep produced.
 void Network::deliver() {
   Rng delivery_rng(hash_mix(cfg_.seed, 0xDE11FE12ULL, stats_.rounds));
+
+  // O(last round's frontier) cleanup of the per-slot state the previous
+  // delivery wrote: inbox extents and bounce lists. Near-dense lists use a
+  // sequential fill instead of a scatter (kDenseSweep below).
+  if (inbox_dests_.size() >= n_ / kDenseSweep) {
+    std::fill(inbox_len_.begin(), inbox_len_.end(), 0u);
+  } else {
+    for (const Slot d : inbox_dests_) inbox_len_[d] = 0;
+  }
+  inbox_dests_.clear();
+  for (const Slot s : bounce_srcs_) bounced_[s].clear();
+  bounce_srcs_.clear();
 
   // Pass 1 — drop/crash filtering and the counting-sort histogram. On the
   // reliable fast path (no loss, no crashes, no trace) nothing can be
   // dropped: the per-worker histograms Ctx::send maintained already hold the
-  // final counts, and they are folded during the layout pass below — no
-  // header re-stream at all. Otherwise the headers are walked in global
-  // source-slot order (worker arenas in slice order), consuming the delivery
-  // stream exactly as the serial seed engine did.
+  // final counts, and folding their touched lists yields the destination
+  // set — no header re-stream at all. Otherwise the headers are walked in
+  // global source-slot order (worker arenas in slice order), consuming the
+  // delivery stream exactly as the serial seed engine did.
   std::uint64_t sent = 0;
   std::uint64_t dropped = 0;
   const bool lossy = cfg_.drop_probability > 0.0;
   const bool fast = !lossy && crashed_n_ == 0 && !trace_;
+  const bool trailered = !is_clique();  // records carry ID-slot trailers
+  // Near-dense rounds run the O(n) sequential variants of the passes below
+  // (histogram fold, ordered-destination rebuild, zeroing): at that density
+  // streaming beats list-driven scatters. Sparse rounds touch only the
+  // lists.
+  bool dense_sweep = false;
   if (!fast) {
-    dest_count_.assign(n_, 0);
+    // dest_count_ is all-zero between rounds; only survivors count.
     for (auto& out : outboxes_) {
       std::uint64_t* p = out.buf.get();
       std::uint64_t* const end = p + out.len;
@@ -417,43 +545,69 @@ void Network::deliver() {
                             MessageOutcome::kDropped});
           rec_set_dst(p, kNoSlot);  // tombstone: placement skips it
         } else {
-          ++dest_count_[dst];
+          if (dest_count_[dst]++ == 0) touched_dests_.push_back(dst);
         }
-        p += rec_words(p);
+        p += rec_words(p, trailered);
+      }
+    }
+    dense_sweep = touched_dests_.size() >= n_ / kDenseSweep;
+  } else {
+    std::size_t touched_total = 0;
+    for (const auto& out : outboxes_) touched_total += out.touched.size();
+    dense_sweep = touched_total >= n_ / kDenseSweep;
+    if (dense_sweep) {
+      // Sequential fold of the whole histograms (they are zero outside the
+      // touched entries); the ordered destination list is rebuilt by the
+      // sweep below.
+      std::copy(outboxes_[0].hist.begin(), outboxes_[0].hist.end(),
+                dest_count_.begin());
+      for (unsigned t = 1; t < threads_; ++t) {
+        const auto& hist = outboxes_[t].hist;
+        for (std::size_t d = 0; d < n_; ++d) dest_count_[d] += hist[d];
+      }
+    } else {
+      // Fold only the destinations each worker actually sent to.
+      for (auto& out : outboxes_) {
+        for (const Slot d : out.touched) {
+          if (dest_count_[d] == 0) touched_dests_.push_back(d);
+          dest_count_[d] += out.hist[d];
+        }
       }
     }
   }
-  std::uint64_t max_send = 0;
-  for (const int c : sends_this_round_)
-    max_send = std::max<std::uint64_t>(max_send, static_cast<std::uint64_t>(c));
-  stats_.max_send_in_round = std::max(stats_.max_send_in_round, max_send);
+  std::uint64_t max_send = stats_.max_send_in_round;
+  for (const auto& out : outboxes_)
+    max_send = std::max<std::uint64_t>(max_send,
+                                       static_cast<std::uint64_t>(out.max_send));
+  stats_.max_send_in_round = max_send;
 
   // Pass 2 — per-destination layout and oversubscription draws, in
   // destination-slot order. For each overflowing destination, draw the
   // accepted capacity-sized subset now (partial Fisher-Yates over arrival
   // indices) and record it as a bitmap so the placement pass can route each
-  // arrival in O(1).
-  const auto cap = static_cast<std::size_t>(capacity_);
-  if (fast) {
-    // Fold the per-worker send-time histograms into the final counts.
-    std::copy(outboxes_[0].hist.begin(), outboxes_[0].hist.end(),
-              dest_count_.begin());
-    for (unsigned t = 1; t < threads_; ++t) {
-      const auto& hist = outboxes_[t].hist;
-      for (std::size_t d = 0; d < n_; ++d) dest_count_[d] += hist[d];
+  // arrival in O(1). Near-dense rounds rebuild the ordered list with a
+  // sequential sweep instead of sorting it.
+  if (dense_sweep) {
+    touched_dests_.clear();
+    for (Slot d = 0; d < static_cast<Slot>(n_); ++d) {
+      if (dest_count_[d] != 0) touched_dests_.push_back(d);
     }
+  } else {
+    std::sort(touched_dests_.begin(), touched_dests_.end());
   }
+  const auto cap = static_cast<std::size_t>(capacity_);
   ovf_dests_.clear();
   ovf_bitmap_.clear();
   std::size_t accept_total = 0;
   std::size_t bounce_total = 0;
   std::uint64_t max_recv = stats_.max_recv_in_round;
-  for (Slot d = 0; d < n_; ++d) {
+  for (const Slot d : touched_dests_) {
     const std::size_t m = dest_count_[d];
     max_recv = std::max<std::uint64_t>(max_recv, m);
-    inbox_off_[d] = accept_total;
+    inbox_lo_[d] = accept_total;
     inbox_cur_[d] = static_cast<std::uint32_t>(accept_total);
     if (m <= cap) {
+      inbox_len_[d] = static_cast<std::uint32_t>(m);
       accept_total += m;
       continue;
     }
@@ -480,9 +634,9 @@ void Network::deliver() {
     bounce_total += m - cap;
     ovf_dests_.push_back(d);
     inbox_cur_[d] |= kOvfBit;
+    inbox_len_[d] = static_cast<std::uint32_t>(cap);
     accept_total += cap;
   }
-  inbox_off_[n_] = accept_total;
   stats_.max_recv_in_round = max_recv;
   // The per-destination cursors are 32-bit (bit 31 of an inbox cursor is
   // the overflow flag); a round this large would corrupt them silently.
@@ -500,13 +654,28 @@ void Network::deliver() {
 
   if (bounce_cap_ < bounce_total)
     grow_discard(bounce_refs_, bounce_cap_, bounce_total, 256);
-  if (inbox_cap_ < accept_total)
+  if (inbox_cap_ < accept_total) {
+    std::size_t meta_cap = inbox_cap_;  // grows in lockstep with the arena
     grow_discard(inbox_arena_, inbox_cap_, accept_total, 1024);
-  for (auto& b : bounced_) b.clear();
+    grow_discard(inbox_meta_, meta_cap, accept_total, 1024);
+  }
   // In clique mode every node already knows every ID: skip the per-message
   // knowledge update (and its random access into know_) entirely.
   const bool learning = !is_clique();
   Message* const inbox = inbox_arena_.get();
+  // Shared by both placement paths: record the per-message learn metadata
+  // (sender slot + the ID words' slots from the record trailer).
+  const auto fill_meta = [&](const std::uint64_t* rec, const Message& msg,
+                             std::uint32_t at, Slot src) {
+    InboxMeta& meta = inbox_meta_[at];
+    meta.src = src;
+    if (trailered && msg.id_mask) {
+      const std::uint64_t* tp = rec_trailer(rec);
+      for (std::size_t w = 0; w < msg.size; ++w) {
+        if (msg.id_mask & (1u << w)) meta.w[w] = static_cast<Slot>(*tp++);
+      }
+    }
+  };
 
   // Pass 3 — placement. Without a trace each payload is copied exactly once,
   // from its outbox arena straight to its final inbox position, streaming
@@ -520,7 +689,7 @@ void Network::deliver() {
       const std::uint64_t* const end = p + out.len;
       while (p < end) {
         const std::uint64_t* rec = p;
-        p += rec_words(p);
+        p += rec_words(p, trailered);
         const Slot dst = rec_dst(rec);
         if (dst == kNoSlot) continue;
         const Slot src = rec_src(rec);
@@ -532,9 +701,10 @@ void Network::deliver() {
           }
         }
         inbox_cur_[dst] = cur + 1;
-        Message& slot = inbox[cur & ~kOvfBit];
-        decode(rec, ids_[src], slot);
-        if (learning) learn_from(dst, src, slot);
+        const std::uint32_t at = cur & ~kOvfBit;
+        Message& msg = inbox[at];
+        decode(rec, ids_[src], msg);
+        fill_meta(rec, msg, at, src);
       }
     }
     for (const Slot d : ovf_dests_) {
@@ -542,6 +712,7 @@ void Network::deliver() {
       const std::size_t hi = lo + dest_count_[d] - cap;
       for (std::size_t k = lo; k < hi; ++k) {
         const auto& r = bounce_refs_[k];
+        if (bounced_[r.src].empty()) bounce_srcs_.push_back(r.src);
         Bounced& b = bounced_[r.src].emplace_back();
         b.dst = ids_[d];
         decode(r.enc, ids_[r.src], b.msg);
@@ -549,31 +720,28 @@ void Network::deliver() {
     }
   } else {
     // Stable counting-sort of references by destination...
-    dest_off_.resize(n_ + 1);
-    dest_cursor_.resize(n_);
     std::size_t total = 0;
-    for (Slot d = 0; d < n_; ++d) {
+    for (const Slot d : touched_dests_) {
       dest_off_[d] = total;
       dest_cursor_[d] = total;
       total += dest_count_[d];
     }
-    dest_off_[n_] = total;
     arena_.resize(total);
     for (const auto& out : outboxes_) {
       const std::uint64_t* p = out.buf.get();
       const std::uint64_t* const end = p + out.len;
       while (p < end) {
         const std::uint64_t* rec = p;
-        p += rec_words(p);
+        p += rec_words(p, trailered);
         const Slot dst = rec_dst(rec);
         if (dst == kNoSlot) continue;
         arena_[dest_cursor_[dst]++] = {rec, rec_src(rec)};
       }
     }
     // ...then per-destination delivery in arrival order.
-    for (Slot d = 0; d < n_; ++d) {
+    for (const Slot d : touched_dests_) {
       const std::size_t lo = dest_off_[d];
-      const std::size_t m = dest_off_[d + 1] - lo;
+      const std::size_t m = dest_count_[d];
       const bool over = m > cap;
       std::uint32_t cur = inbox_cur_[d] & ~kOvfBit;
       for (std::size_t i = 0; i < m; ++i) {
@@ -586,9 +754,10 @@ void Network::deliver() {
                           accept ? MessageOutcome::kDelivered
                                  : MessageOutcome::kBounced});
         if (accept) {
-          if (learning) learn_from(d, src, msg);
+          fill_meta(enc, msg, cur, src);
           inbox[cur++] = msg;
         } else {
+          if (bounced_[src].empty()) bounce_srcs_.push_back(src);
           bounced_[src].push_back({ids_[d], msg});
         }
       }
@@ -597,6 +766,76 @@ void Network::deliver() {
   }
   stats_.messages_delivered += accept_total;
   stats_.messages_bounced += bounce_total;
+
+  // Knowledge post-pass, dest-major over the contiguous inbox arena:
+  // delivery teaches the receiver the sender's ID plus every ID word in the
+  // payload (the packet-header analogy from message.h). Running it here —
+  // instead of inline during source-order placement — loads each receiver's
+  // knowledge table once per round rather than once per message, which at
+  // large n is the difference between streaming and DRAM-random learns.
+  // Knowledge updates are idempotent and commutative, so the reordering
+  // cannot change any observable state. Send-side checks guarantee every
+  // forwarded ID names a real node, so the find() cannot miss.
+  if (learning) {
+    for (const Slot d : touched_dests_) {
+      Knowledge& k = know_[d];
+      const std::size_t lo = inbox_lo_[d];
+      const Message* msgs = inbox + lo;
+      const InboxMeta* metas = inbox_meta_.get() + lo;
+      const std::uint32_t len = inbox_len_[d];
+      for (std::uint32_t i = 0; i < len; ++i) {
+        k.learn_slot(metas[i].src);
+        const Message& m = msgs[i];
+        if (m.id_mask) {
+          for (std::size_t w = 0; w < m.size; ++w) {
+            if (m.id_mask & (1u << w)) {
+              const NodeId id = m.words[w];
+              if (k.hot_id_is(id)) continue;  // already learned
+              k.learn_slot(metas[i].w[w]);
+              k.set_hot(id, metas[i].w[w]);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Tail — compute the next round's frontier and restore the between-round
+  // invariants (dest_count_ and the worker histograms return to all-zero;
+  // touched_dests_ hands the recipient list to the next cleanup).
+  wake_scratch_.clear();
+  for (auto& out : outboxes_) {
+    // Worker slices are contiguous and ascending, so concatenating the
+    // per-arena wake lists in arena order yields a sorted list.
+    if (!out.wake.empty()) {
+      frontier_track_ = true;  // a body self-wake turns tracking on
+      wake_scratch_.insert(wake_scratch_.end(), out.wake.begin(),
+                           out.wake.end());
+      out.wake.clear();
+    }
+    if (out.touched.size() >= n_ / kDenseSweep) {
+      std::fill(out.hist.begin(), out.hist.end(), 0u);
+    } else {
+      for (const Slot d : out.touched) out.hist[d] = 0;
+    }
+    out.touched.clear();
+  }
+  if (frontier_track_) {
+    std::sort(bounce_srcs_.begin(), bounce_srcs_.end());
+    // frontier = recipients ∪ self-wakes ∪ bounce holders ∪ any referee
+    // wakes already queued for the next round (kept across dense rounds).
+    flush_active();
+    sorted_union_into(active_, touched_dests_, active_scratch_);
+    sorted_union_into(active_, wake_scratch_, active_scratch_);
+    sorted_union_into(active_, bounce_srcs_, active_scratch_);
+  }
+  if (dense_sweep) {
+    std::fill(dest_count_.begin(), dest_count_.end(), 0u);
+  } else {
+    for (const Slot d : touched_dests_) dest_count_[d] = 0;
+  }
+  inbox_dests_.swap(touched_dests_);
+  touched_dests_.clear();
 }
 
 std::uint64_t Network::run_until(const std::function<bool()>& done,

@@ -13,6 +13,21 @@
 // inboxes during round t+1. Referee-side accessors (slot_of, path_order, ...)
 // exist for verification and test assertions only.
 //
+// Active-set (sparse) rounds: net.round_active(body) runs the body only for
+// the round's *active* slots — slots that received a message or a bounce in
+// the previous round, slots whose body called ctx.wake() last round, and
+// slots woken referee-side with net.wake(s). Frontier-style primitives (a
+// broadcast wave, a convergecast, a token route) touch O(frontier) CPU per
+// round instead of O(n), and terminate when the active set drains
+// (net.has_active()). Contract for bodies driven this way: a slot that the
+// frontier would not cover must be *silent* — no sends, no RNG draws, no
+// observable state change — so that a dense dispatch of the same body
+// (Config::sparse_rounds = false, or plain net.round) produces a bit-for-bit
+// identical transcript. The active list is kept sorted by slot and is
+// partitioned across the worker pool in contiguous slices, so the outbox
+// arena concatenation order — the determinism contract — is the same as a
+// dense round's for any thread count.
+//
 // Datapath layout (perf-critical, see EXPERIMENTS.md for the benchmarks):
 //   - round bodies run on a persistent worker pool (Config::threads), woken
 //     by a generation barrier — no thread spawn/join per round;
@@ -26,18 +41,26 @@
 //     vectors churn (with a Trace attached, a reference-sorting path
 //     reproduces the seed engine's exact event order for completed rounds;
 //     a strict-mode overflow now throws before any delivery events);
+//   - every per-round sweep is list-driven: touched destinations, bounce
+//     sources, and the active frontier name exactly the entries to visit
+//     and re-zero, so a round costs O(traffic + frontier), not O(n) (near-
+//     dense rounds fall back to sequential sweeps, which are cheaper than
+//     scattering at that density);
 //   - ID -> slot resolution is O(1) (IdMap) and knowledge is a slot-indexed
-//     bitset (Knowledge), so the send path does no hashing of std::unordered
-//     containers and no binary search; Ctx::send is header-inline (the build
-//     has no LTO) with its failure diagnostics outlined to Network::send_fail
-//     so round bodies pay one lean inlined path per message.
+//     sparse-to-dense hybrid (Knowledge), so the send path does no hashing
+//     of std::unordered containers and no binary search; Ctx::send is
+//     header-inline (the build has no LTO) with its failure diagnostics
+//     outlined to Network::send_fail so round bodies pay one lean inlined
+//     path per message.
 #pragma once
 
+#include <bit>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "ncc/config.h"
@@ -90,6 +113,11 @@ class Ctx {
   /// This node's sends from the previous round that were bounced.
   std::span<const Bounced> bounced() const;
 
+  /// Keep this node in the next round's active set even if it receives
+  /// nothing (active-set scheduling; e.g. "my send queue has backlog").
+  /// A node may only wake itself — waking another node takes a message.
+  void wake();
+
   /// Node-private random stream (stable across runs and thread counts).
   Rng& rng();
 
@@ -120,11 +148,22 @@ struct Ctx::OutArena {
   std::size_t cap = 0;  // words allocated
   // Per-destination send counts, maintained by Ctx::send so the reliable-
   // network fast path in deliver() never has to re-stream the records just
-  // to build its counting-sort histogram. Zeroed per round in run_slots.
+  // to build its counting-sort histogram. Only entries named in `touched`
+  // are ever nonzero; deliver() folds and re-zeroes exactly those, so a
+  // round costs O(destinations actually sent to), not O(n).
   // Maintained even on lossy networks (where deliver() rebuilds counts
   // post-drop and ignores this): set_drop_probability is a live knob, and
   // gating the upkeep would put a branch on the reliable send path.
   std::vector<std::uint32_t> hist;
+  // Destinations with hist[d] > 0, in first-send order (dedup by hist).
+  std::vector<Slot> touched;
+  // Slots whose body called Ctx::wake() this round. Ascending by slot: a
+  // worker walks its slice in slot order, so per-arena lists concatenate
+  // sorted across the pool's contiguous slices.
+  std::vector<Slot> wake;
+  // Max per-node sends this worker observed this round (NetStats feed;
+  // replaces the old O(n) per-round scan of a sends-per-slot array).
+  int max_send = 0;
 
   void clear() { len = 0; }
 
@@ -164,6 +203,66 @@ class Network {
   }
   void round(const std::function<void(Ctx&)>& body);
 
+  /// Active-set round: run `body` only for this round's active slots (see
+  /// the file comment), then deliver. The active set is the sorted union of
+  /// last round's message recipients, bounce holders, self-wakes, and
+  /// referee wakes. With Config::sparse_rounds == false this dispatches
+  /// densely (body runs for every slot) but keeps identical bookkeeping —
+  /// the reference mode for transcript-equivalence tests.
+  template <typename Body,
+            typename = std::enable_if_t<std::is_invocable_v<Body&, Ctx&>>>
+  void round_active(Body&& body) {
+    using B = std::remove_reference_t<Body>;
+    round_active_raw(
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+        [](void* b, Ctx& ctx) { (*static_cast<B*>(b))(ctx); });
+  }
+  void round_active(const std::function<void(Ctx&)>& body);
+
+  /// Drive active-set rounds until the frontier drains. Returns rounds
+  /// executed. Seed the frontier first (wake / a preceding round's traffic).
+  template <typename Body,
+            typename = std::enable_if_t<std::is_invocable_v<Body&, Ctx&>>>
+  std::uint64_t run_active(Body&& body) {
+    std::uint64_t executed = 0;
+    while (has_active()) {
+      round_active(body);
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Referee/orchestrator-side wake: slot `s` joins the next active round's
+  /// frontier (primitives use this to seed initiators — the in-model
+  /// equivalent is "every node knows from its own state that it starts").
+  void wake(Slot s) {
+    DGR_CHECK_MSG(s < n_, "wake of invalid slot " << s);
+    ensure_frontier();
+    active_.push_back(s);
+    active_dirty_ = true;
+  }
+  /// Wake every slot (a dense round's frontier, as an active-set seed).
+  void wake_all() {
+    ensure_frontier();
+    for (Slot s = 0; s < static_cast<Slot>(n_); ++s) active_.push_back(s);
+    active_dirty_ = true;
+  }
+  /// Drop all pending activations and wakes. Primitives call this at phase
+  /// boundaries so a predecessor's unconsumed deliveries cannot leak into
+  /// their frontier.
+  void clear_active() {
+    frontier_track_ = true;  // an explicit clear means "empty frontier now"
+    active_.clear();
+    active_dirty_ = false;
+  }
+  /// Slots in the next active round's frontier (after folding wakes).
+  std::size_t active_count() {
+    ensure_frontier();
+    flush_active();
+    return active_.size();
+  }
+  bool has_active() { return active_count() != 0; }
+
   /// Run `body` every round until `done()` (referee-side predicate) returns
   /// true, checking before each round. Returns rounds executed.
   std::uint64_t run_until(const std::function<bool()>& done,
@@ -202,11 +301,24 @@ class Network {
   const std::vector<Slot>& path_order() const { return path_order_; }
   /// Number of distinct IDs node `s` currently knows.
   std::size_t knowledge_size(Slot s) const { return know_[s].size(n_); }
+  /// The slot of `id` if node `s` verifiably knows that ID, else kNoSlot.
+  /// One-entry (ID, slot) cache first — monotone knowledge keeps it valid
+  /// forever — then the IdMap + membership probe.
+  Slot known_slot_of(Slot s, NodeId id) const {
+    if (id == kNoNode) return kNoSlot;
+    const Knowledge& k = know_[s];
+    if (k.hot_id_is(id)) return k.hot_slot();
+    const Slot t = id_map_.find(id);
+    if (t == kNoSlot || !(k.knows_all() || k.knows_slot(t))) return kNoSlot;
+    k.set_hot(id, t);
+    return t;
+  }
   bool node_knows(Slot s, NodeId id) const {
     if (id == kNoNode) return false;
+    // NCC1: common knowledge covers every ID; no resolution, no probe (and
+    // a payload word that is not a real node ID is not a KT0 violation).
     if (know_[s].knows_all()) return true;
-    const Slot t = id_map_.find(id);
-    return t != kNoSlot && know_[s].knows_slot(t);
+    return known_slot_of(s, id) != kNoSlot;
   }
   /// Maximum knowledge-set size over all nodes (information accounting for
   /// the §7 lower-bound experiments).
@@ -220,10 +332,21 @@ class Network {
   struct WorkerPool;
 
   void round_raw(void* body, RoundThunk thunk);
-  void run_slots(Slot lo, Slot hi, unsigned arena, void* body,
+  void round_active_raw(void* body, RoundThunk thunk);
+  /// Shared round driver: dispatch `items` work units (slots when
+  /// round_list_ is null, active-list entries otherwise) across the pool,
+  /// deliver, and count the round.
+  void execute_round(std::size_t items, void* body, RoundThunk thunk);
+  /// Fold referee wakes into a sorted, deduped active list.
+  void flush_active();
+  /// Turn frontier tracking on; on the first use, reconstruct the frontier
+  /// the last delivery would have produced (its recipient and bounce lists
+  /// are still at hand), so dense rounds run before any frontier use still
+  /// feed the first active round.
+  void ensure_frontier();
+  void run_slots(std::size_t lo, std::size_t hi, unsigned arena, void* body,
                  RoundThunk thunk);
   void deliver();
-  void learn_from(Slot dst, Slot src, const Message& msg);
   /// Cold path: re-runs the send checks in their documented order to throw
   /// the exact diagnostic; called only when the inlined fast checks failed.
   /// Takes the wire-encoded record so the hot path never spills the Message.
@@ -243,9 +366,11 @@ class Network {
   IdMap id_map_;                          // O(1) NodeId -> Slot
 
   // Round-transient state, all flat and reused across rounds: after the
-  // first few rounds the steady-state datapath performs no allocation.
+  // first few rounds the steady-state datapath performs no allocation, and
+  // per-round cost is O(traffic + frontier) — every dense O(n) sweep has
+  // been replaced by touched/active lists that name exactly the entries to
+  // visit and re-zero.
   std::vector<Ctx::OutArena> outboxes_;   // one arena per worker
-  std::vector<int> sends_this_round_;
   /// Reference to a wire record in a worker outbox arena; used by both the
   /// traced-path reference sort and the bounce spill.
   struct EncodedRef {
@@ -253,15 +378,46 @@ class Network {
     Slot src;
   };
   std::vector<std::uint32_t> dest_count_;   // counting-sort histogram
-  std::vector<std::size_t> dest_off_;       // destination offsets, n+1
+  std::vector<Slot> touched_dests_;         // dests with dest_count_ > 0
+  std::vector<std::size_t> dest_off_;       // traced-path offsets, by dest
   std::vector<std::size_t> dest_cursor_;    // scatter cursors
   std::vector<EncodedRef> arena_;           // traced-path reference sort
   std::unique_ptr<Message[]> inbox_arena_;  // accepted messages, dest-major
+  /// Per accepted message (parallel to inbox_arena_): the sender's slot and
+  /// the slot of every ID word (copied from the wire-record trailer).
+  /// Delivery-time knowledge updates run as a dest-major post-pass over the
+  /// inbox arena — each receiver's knowledge table is loaded once per round
+  /// instead of once per message in source order — and with the slots at
+  /// hand the pass never touches the IdMap.
+  struct InboxMeta {
+    Slot src;
+    std::array<Slot, kMaxWords> w;  // only id_mask positions are valid
+  };
+  std::unique_ptr<InboxMeta[]> inbox_meta_;
   std::size_t inbox_cap_ = 0;
-  std::vector<std::size_t> inbox_off_;      // per-node inbox offsets, n+1
+  std::vector<std::size_t> inbox_lo_;       // per-node inbox arena offset
+  std::vector<std::uint32_t> inbox_len_;    // per-node inbox length
+  std::vector<Slot> inbox_dests_;  // slots with inbox_len_ > 0 (last round)
+  std::vector<Slot> bounce_srcs_;  // slots with bounces (last round)
   // Per-node inbox write cursors; bit 31 flags an oversubscribed
   // destination so the placement pass needs no second table lookup.
   std::vector<std::uint32_t> inbox_cur_;
+  // Active-set scheduling state. active_ is the next round_active frontier
+  // (sorted + deduped once flushed); run_list_ is the round-owned copy the
+  // workers read; round_list_ aliases it while a sparse round executes.
+  std::vector<Slot> active_;
+  std::vector<Slot> run_list_;
+  std::vector<Slot> active_scratch_;  // set_union spare
+  std::vector<Slot> wake_scratch_;    // concatenated per-arena wakes
+  bool active_dirty_ = false;
+  // Frontier maintenance is lazy: a simulation that only ever calls the
+  // dense round() never pays for building next-round active sets. The flag
+  // latches on the first wake (referee- or body-side) or active round.
+  bool frontier_track_ = false;
+  const Slot* round_list_ = nullptr;
+  // Per-round worker slices (indices into run_list_, or raw slots when
+  // dense); written by execute_round before the pool is kicked.
+  std::vector<std::pair<std::size_t, std::size_t>> worker_span_;
   // Oversubscription bookkeeping (only entries for overflowing destinations
   // are (re)initialized each round; see deliver()).
   std::vector<Slot> ovf_dests_;                  // this round's overflowers
@@ -308,7 +464,6 @@ inline std::span<const NodeId> Ctx::all_ids() const {
 }
 
 inline void Ctx::send(NodeId to, Message m) {
-  const Knowledge& kn = net_.know_[slot_];
   const Slot dst = net_.id_map_.find(to);
   // A Message is a plain aggregate, so a hand-corrupted size could drive
   // the encode loop out of bounds; reject it before touching the arena.
@@ -323,8 +478,20 @@ inline void Ctx::send(NodeId to, Message m) {
   // body that catches the CheckError leaves no trace of the rejected send.
   // The sender's ID is stamped from the routing word at delivery, so it is
   // not transmitted.
+  //
+  // Forwarded-ID trailer: the KT0 check below must resolve every ID word's
+  // slot anyway, so on learning networks the record carries those slots
+  // after the payload and the delivery-side learn pass never touches the
+  // IdMap. Clique networks skip learning, so their records stay trailerless
+  // (rec_words mirrors this split).
   const std::size_t nw = m.size;
-  std::uint64_t* p = out_->append(2 + nw);
+  const bool trailered = m.id_mask != 0 && !net_.is_clique();
+  const std::size_t tw =
+      trailered ? static_cast<std::size_t>(
+                      std::popcount(static_cast<unsigned>(m.id_mask)))
+                : 0;
+  const std::size_t rec_len = 2 + nw + tw;
+  std::uint64_t* p = out_->append(rec_len);
   p[0] = static_cast<std::uint64_t>(slot_) |
          (static_cast<std::uint64_t>(dst) << 32);
   p[1] = static_cast<std::uint64_t>(m.tag) |
@@ -333,33 +500,54 @@ inline void Ctx::send(NodeId to, Message m) {
   for (std::size_t w = 0; w < nw; ++w) p[2 + w] = m.words[w];
   // Model rules 1 (sender knows destination) and 2 (send budget); see
   // Network::send_fail for the individual diagnostics.
+  const Knowledge& kn = net_.know_[slot_];
   if (to == kNoNode || dst == kNoSlot ||
       !(kn.knows_all() || kn.knows_slot(dst)) ||
       sends_ >= net_.capacity_) [[unlikely]] {
-    out_->len -= 2 + nw;  // pop the rejected record
+    out_->len -= rec_len;  // pop the rejected record
     net_.send_fail(slot_, to, p, sends_);
   }
   // A node can only transmit IDs it actually knows (no referee leakage).
+  // The trailered (learning-network) branch resolves each ID's slot for
+  // the trailer as a side effect of the check; the clique branch keeps the
+  // knows_all short-circuit — no resolution, no probe.
   if (m.id_mask) {
-    for (std::size_t w = 0; w < m.size; ++w) {
-      if ((m.id_mask & (1u << w)) && !knows(m.words[w])) [[unlikely]] {
-        out_->len -= 2 + nw;  // pop the rejected record
-        net_.send_fail(slot_, to, p, sends_);
+    if (trailered) {
+      std::uint64_t* tp = p + 2 + nw;
+      for (std::size_t w = 0; w < m.size; ++w) {
+        if ((m.id_mask & (1u << w)) == 0) continue;
+        const Slot ws = net_.known_slot_of(slot_, m.words[w]);
+        if (ws == kNoSlot) [[unlikely]] {
+          out_->len -= rec_len;  // pop the rejected record
+          net_.send_fail(slot_, to, p, sends_);
+        }
+        *tp++ = ws;
+      }
+    } else {
+      for (std::size_t w = 0; w < m.size; ++w) {
+        if ((m.id_mask & (1u << w)) && !knows(m.words[w])) [[unlikely]] {
+          out_->len -= rec_len;  // pop the rejected record
+          net_.send_fail(slot_, to, p, sends_);
+        }
       }
     }
   }
-  ++out_->hist[dst];
+  if (out_->hist[dst]++ == 0) out_->touched.push_back(dst);
   ++sends_;
 }
 
 inline std::span<const Message> Ctx::inbox() const {
-  const std::size_t lo = net_.inbox_off_[slot_];
-  const std::size_t hi = net_.inbox_off_[slot_ + 1];
-  return {net_.inbox_arena_.get() + lo, hi - lo};
+  return {net_.inbox_arena_.get() + net_.inbox_lo_[slot_],
+          net_.inbox_len_[slot_]};
 }
 
 inline std::span<const Bounced> Ctx::bounced() const {
   return net_.bounced_[slot_];
+}
+
+inline void Ctx::wake() {
+  auto& w = out_->wake;
+  if (w.empty() || w.back() != slot_) w.push_back(slot_);
 }
 
 inline Rng& Ctx::rng() { return net_.node_rng_[slot_]; }

@@ -1,7 +1,6 @@
 #include "primitives/bbst.h"
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
 
 #include "util/check.h"
@@ -61,8 +60,12 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
   // Build L: level k links are the grand-links of level k-1. Each round
   // first ingests the grand-link announcements of the previous round, then
   // sends the next level's. One trailing round drains the last level.
+  // Frontier: every member starts (level-0 links are initial knowledge);
+  // from then on a node is active exactly when an announcement reached it —
+  // nodes that fell off the ends of a level stop receiving and drop out.
+  wake_members(net, path);
   for (int k = 1; k <= levels + 1; ++k) {
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
       // Ingest announcements for level k-1 (sent last round).
@@ -103,9 +106,16 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
     }
   };
 
+  // Frontier: the BFS wave carries itself (invitees and accept-receivers
+  // are message recipients), plus a self-wake for every tree member that
+  // still holds an unspent invitation flag — a node whose level-i link was
+  // missing retries at lower levels, so it must stay on the frontier even
+  // across rounds in which it neither sends nor receives.
+  net.clear_active();
+  net.wake(tree.root);
   for (int i = levels - 1; i >= 0; --i) {
     // Invite round.
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
       ingest_accepts(ctx);
@@ -119,11 +129,16 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
         ctx.send(lsucc[i][s], ncc::make_msg(kTagInviteRight));
         in_ss[s] = 0;
       }
+      if (in_sp[s] || in_ss[s]) ctx.wake();
     });
     // Accept round.
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
-      if (!path.member(s) || tree.nodes[s].in_tree) return;
+      if (!path.member(s)) return;
+      if (tree.nodes[s].in_tree) {
+        if (in_sp[s] || in_ss[s]) ctx.wake();  // invite again next level
+        return;
+      }
       NodeId chosen = kNoNode;
       for (const auto& m : ctx.inbox()) {
         if (m.tag != kTagInviteLeft && m.tag != kTagInviteRight) continue;
@@ -134,10 +149,11 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
       tree.nodes[s].parent = chosen;
       ctx.send(chosen, ncc::make_msg(kTagAccept));
       in_sp[s] = in_ss[s] = 1;
+      ctx.wake();  // newly joined: invite at the next level down
     });
   }
   // Drain the final accepts.
-  net.round([&](ncc::Ctx& ctx) {
+  net.round_active([&](ncc::Ctx& ctx) {
     if (path.member(ctx.slot())) ingest_accepts(ctx);
   });
 
@@ -187,77 +203,74 @@ PrefixSums tree_prefix_sum(ncc::Network& net, const TreeOverlay& tree,
   std::vector<std::uint64_t> left_sum(n, 0), right_sum(n, 0);
   std::vector<std::uint8_t> left_done(n, 0), right_done(n, 0), sent_up(n, 0),
       got_base(n, 0);
-  std::atomic<std::size_t> completed_up{0};  // referee termination
-  std::atomic<std::size_t> completed_down{0};
   std::size_t members = 0;
+  net.clear_active();
   for (Slot s = 0; s < n; ++s) {
     if (!tree.member(s)) continue;
     ++members;
     if (tree.nodes[s].left == kNoNode) left_done[s] = 1;
     if (tree.nodes[s].right == kNoNode) right_done[s] = 1;
+    if (left_done[s] && right_done[s]) net.wake(s);  // leaves start the wave
   }
   if (members == 0) return out;
 
-  // Phase 1: subtree sums climb to the root.
-  const std::size_t up_budget = 4 * static_cast<std::size_t>(tree.height) + 8;
-  std::size_t guard = 0;
-  while (completed_up < members) {
-    DGR_CHECK_MSG(guard++ <= up_budget, "prefix-sum convergecast stalled");
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      if (!tree.member(s)) return;
-      const auto& nd = tree.nodes[s];
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagUp) continue;
-        if (m.src == nd.left) {
-          left_sum[s] = m.word(0);
-          left_done[s] = 1;
-        } else if (m.src == nd.right) {
-          right_sum[s] = m.word(0);
-          right_done[s] = 1;
-        }
+  // Phase 1: subtree sums climb to the root. A node joins the frontier the
+  // round its last child's sum arrives; the wave drains when the root sent
+  // (total activations O(members), rounds O(height)).
+  net.run_active([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (!tree.member(s) || sent_up[s]) return;
+    const auto& nd = tree.nodes[s];
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagUp) continue;
+      if (m.src == nd.left) {
+        left_sum[s] = m.word(0);
+        left_done[s] = 1;
+      } else if (m.src == nd.right) {
+        right_sum[s] = m.word(0);
+        right_done[s] = 1;
       }
-      if (!sent_up[s] && left_done[s] && right_done[s]) {
-        out.subtree[s] = value[s] + left_sum[s] + right_sum[s];
-        sent_up[s] = 1;
-        ++completed_up;
-        if (nd.parent != kNoNode)
-          ctx.send(nd.parent, ncc::make_msg(kTagUp).push(out.subtree[s]));
-      }
-    });
-  }
+    }
+    if (left_done[s] && right_done[s]) {
+      out.subtree[s] = value[s] + left_sum[s] + right_sum[s];
+      sent_up[s] = 1;
+      if (nd.parent != kNoNode)
+        ctx.send(nd.parent, ncc::make_msg(kTagUp).push(out.subtree[s]));
+    }
+  });
+  DGR_CHECK_MSG(sent_up[tree.root], "prefix-sum convergecast stalled");
 
   // Phase 2: prefix bases descend from the root.
-  guard = 0;
-  while (completed_down < members) {
-    DGR_CHECK_MSG(guard++ <= up_budget, "prefix-sum distribution stalled");
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      if (!tree.member(s) || got_base[s]) return;
-      const auto& nd = tree.nodes[s];
-      std::uint64_t base = 0;
-      bool have = false;
-      if (s == tree.root) {
-        have = true;
-      } else {
-        for (const auto& m : ctx.inbox()) {
-          if (m.tag == kTagDown && m.src == nd.parent) {
-            base = m.word(0);
-            have = true;
-          }
+  net.clear_active();
+  net.wake(tree.root);
+  net.run_active([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (!tree.member(s) || got_base[s]) return;
+    const auto& nd = tree.nodes[s];
+    std::uint64_t base = 0;
+    bool have = false;
+    if (s == tree.root) {
+      have = true;
+    } else {
+      for (const auto& m : ctx.inbox()) {
+        if (m.tag == kTagDown && m.src == nd.parent) {
+          base = m.word(0);
+          have = true;
         }
       }
-      if (!have) return;
-      got_base[s] = 1;
-      ++completed_down;
-      out.exclusive[s] = base + left_sum[s];
-      if (nd.left != kNoNode)
-        ctx.send(nd.left, ncc::make_msg(kTagDown).push(base));
-      if (nd.right != kNoNode)
-        ctx.send(nd.right, ncc::make_msg(kTagDown).push(
-                               base + left_sum[s] + value[s]));
-    });
-  }
+    }
+    if (!have) return;
+    got_base[s] = 1;
+    out.exclusive[s] = base + left_sum[s];
+    if (nd.left != kNoNode)
+      ctx.send(nd.left, ncc::make_msg(kTagDown).push(base));
+    if (nd.right != kNoNode)
+      ctx.send(nd.right, ncc::make_msg(kTagDown).push(
+                             base + left_sum[s] + value[s]));
+  });
+  for (Slot s = 0; s < n; ++s)
+    DGR_CHECK_MSG(!tree.member(s) || got_base[s],
+                  "prefix-sum distribution stalled");
   return out;
 }
 
@@ -277,22 +290,25 @@ TreeOverlay build_warmup_tree(ncc::Network& net, const PathOverlay& path) {
   std::vector<NodeId> cur_succ = path.succ;
   std::vector<NodeId> gp(n, kNoNode), gs(n, kNoNode);
   std::vector<std::uint8_t> active(n, 0);
-  std::atomic<std::size_t> active_count{0};
   for (Slot s = 0; s < n; ++s) {
     if (path.member(s)) {
       active[s] = 1;
-      ++active_count;
       tree.nodes[s].in_tree = true;
       if (path.pred[s] == kNoNode) tree.root = s;
     }
   }
 
+  // Frontier: a node stays on it (self-wake) for as long as its own
+  // `active` flag holds — heads retire in round B and stop waking, and the
+  // whole construction ends when the frontier drains. The old atomic
+  // active-node counter is gone.
+  wake_members(net, path);
   const std::size_t iter_budget = 2 * ceil_log2(members) + 4;
   std::size_t iter = 0;
-  while (active_count > 0) {
+  while (net.has_active()) {
     DGR_CHECK_MSG(iter++ <= iter_budget, "warm-up tree stalled");
     // Round A: neighbour-of-neighbour exchange.
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!active[s]) return;
       gp[s] = gs[s] = kNoNode;
@@ -302,9 +318,10 @@ TreeOverlay build_warmup_tree(ncc::Network& net, const PathOverlay& path) {
       if (cur_succ[s] != kNoNode) m.push_id(cur_succ[s]); else m.push(kNoNode);
       if (cur_pred[s] != kNoNode) ctx.send(cur_pred[s], m);
       if (cur_succ[s] != kNoNode) ctx.send(cur_succ[s], m);
+      ctx.wake();
     });
     // Round B: heads adopt children and retire; everyone rewires.
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!active[s]) return;
       for (const auto& m : ctx.inbox()) {
@@ -322,15 +339,15 @@ TreeOverlay build_warmup_tree(ncc::Network& net, const PathOverlay& path) {
           tree.nodes[s].right = gs[s];
           ctx.send(gs[s], ncc::make_msg(kTagWarmRight));
         }
-        active[s] = 0;
-        --active_count;
+        active[s] = 0;  // retires: no self-wake, drops off the frontier
       } else {
         cur_pred[s] = gp[s];
         cur_succ[s] = gs[s];
+        ctx.wake();
       }
     });
     // Round C: children record their parent; new heads drop dead preds.
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!active[s]) return;
       for (const auto& m : ctx.inbox()) {
@@ -339,6 +356,7 @@ TreeOverlay build_warmup_tree(ncc::Network& net, const PathOverlay& path) {
           cur_pred[s] = kNoNode;
         }
       }
+      ctx.wake();
     });
   }
 

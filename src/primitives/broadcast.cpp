@@ -1,8 +1,5 @@
 #include "primitives/broadcast.h"
 
-#include <algorithm>
-#include <atomic>
-
 #include "util/check.h"
 
 namespace dgr::prim {
@@ -10,20 +7,11 @@ namespace dgr::prim {
 namespace {
 enum Tag : std::uint32_t {
   kTagBcast = 0x50,     // word0 = value
-  kTagAgg = 0x51,       // word0 = partial aggregate
+  // 0x51 is detail::kTagAgg (broadcast.h — templated convergecast)
   kTagLeaderUp = 0x52,  // word0 = leader's token climbing to the root
   kTagArgmax = 0x53,    // word0 = best key, word1 = best node's ID
 };
 }  // namespace
-
-std::uint64_t comb_sum(std::uint64_t a, std::uint64_t b) { return a + b; }
-std::uint64_t comb_max(std::uint64_t a, std::uint64_t b) {
-  return std::max(a, b);
-}
-std::uint64_t comb_min(std::uint64_t a, std::uint64_t b) {
-  return std::min(a, b);
-}
-std::uint64_t comb_or(std::uint64_t a, std::uint64_t b) { return a | b; }
 
 std::vector<std::uint64_t> broadcast_from_root(ncc::Network& net,
                                                const TreeOverlay& tree,
@@ -33,8 +21,7 @@ std::vector<std::uint64_t> broadcast_from_root(ncc::Network& net,
   const std::size_t n = net.n();
   std::vector<std::uint64_t> out(n, 0);
   std::vector<std::uint8_t> got(n, 0);
-  std::atomic<std::size_t> reached{0};
-  std::size_t members = tree.size();
+  const std::size_t members = tree.size();
   if (members == 0) return out;
 
   auto forward = [&](ncc::Ctx& ctx, std::uint64_t v) {
@@ -48,73 +35,40 @@ std::vector<std::uint64_t> broadcast_from_root(ncc::Network& net,
     if (nd.right != kNoNode) ctx.send(nd.right, mk());
   };
 
-  while (reached.load() < members) {
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      if (!tree.member(s) || got[s]) return;
-      if (s == tree.root) {
-        out[s] = value;
-        got[s] = 1;
-        reached.fetch_add(1);
-        forward(ctx, value);
-        return;
-      }
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagBcast || m.src != tree.nodes[s].parent) continue;
-        out[s] = m.word(0);
-        got[s] = 1;
-        reached.fetch_add(1);
-        forward(ctx, out[s]);
-        break;
-      }
-    });
-  }
+  // The wave: the root starts; every other member joins the frontier the
+  // round its parent's message arrives, forwards, and drops out. Total
+  // activations = members, and the drain of the active set is the
+  // termination signal (the old per-round full-slot rescan with an atomic
+  // `reached` counter is gone).
+  net.clear_active();
+  net.wake(tree.root);
+  net.run_active([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (!tree.member(s) || got[s]) return;
+    if (s == tree.root) {
+      out[s] = value;
+      got[s] = 1;
+      forward(ctx, value);
+      return;
+    }
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagBcast || m.src != tree.nodes[s].parent) continue;
+      out[s] = m.word(0);
+      got[s] = 1;
+      forward(ctx, out[s]);
+      break;
+    }
+  });
+  for (Slot s = 0; s < n; ++s)
+    DGR_CHECK_MSG(!tree.member(s) || got[s], "broadcast wave stalled");
   return out;
 }
 
 std::uint64_t aggregate_to_root(ncc::Network& net, const TreeOverlay& tree,
                                 const std::vector<std::uint64_t>& value,
                                 const Combiner& f) {
-  ncc::ScopedRounds scope(net, "aggregate");
-  const std::size_t n = net.n();
-  DGR_CHECK(value.size() == n);
-  const std::size_t members = tree.size();
-  if (members == 0) return 0;
-
-  std::vector<std::uint64_t> partial(n, 0);
-  std::vector<std::uint8_t> left_done(n, 0), right_done(n, 0), sent(n, 0);
-  std::atomic<std::size_t> completed{0};
-  for (Slot s = 0; s < n; ++s) {
-    if (!tree.member(s)) continue;
-    partial[s] = value[s];
-    if (tree.nodes[s].left == kNoNode) left_done[s] = 1;
-    if (tree.nodes[s].right == kNoNode) right_done[s] = 1;
-  }
-
-  while (completed.load() < members) {
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      if (!tree.member(s) || sent[s]) return;
-      const auto& nd = tree.nodes[s];
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagAgg) continue;
-        if (m.src == nd.left) {
-          partial[s] = f(partial[s], m.word(0));
-          left_done[s] = 1;
-        } else if (m.src == nd.right) {
-          partial[s] = f(partial[s], m.word(0));
-          right_done[s] = 1;
-        }
-      }
-      if (left_done[s] && right_done[s]) {
-        sent[s] = 1;
-        completed.fetch_add(1);
-        if (nd.parent != kNoNode)
-          ctx.send(nd.parent, ncc::make_msg(kTagAgg).push(partial[s]));
-      }
-    });
-  }
-  return partial[tree.root];
+  // Forward the type-erased combiner through the templated wave.
+  return aggregate_to_root<const Combiner&>(net, tree, value, f);
 }
 
 std::uint64_t aggregate_and_broadcast(ncc::Network& net,
@@ -133,12 +87,15 @@ std::vector<std::uint64_t> broadcast_from_leader(ncc::Network& net,
                                                  bool value_is_id) {
   ncc::ScopedRounds scope(net, "broadcast");
   DGR_CHECK(tree.member(leader));
-  // Up phase: the token climbs from the leader to the root.
-  std::atomic<bool> root_has{leader == tree.root};
+  // Up phase: the token climbs from the leader to the root — a frontier of
+  // exactly one node per round.
+  bool root_has = leader == tree.root;
   std::uint64_t at_root = value;
   bool leader_sent = false;
-  while (!root_has.load()) {
-    net.round([&](ncc::Ctx& ctx) {
+  net.clear_active();
+  if (!root_has) net.wake(leader);
+  while (!root_has) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!tree.member(s)) return;
       std::uint64_t v = 0;
@@ -157,7 +114,7 @@ std::vector<std::uint64_t> broadcast_from_leader(ncc::Network& net,
       if (!have) return;
       if (s == tree.root) {
         at_root = v;
-        root_has.store(true);
+        root_has = true;  // workers sync on the round barrier before reads
         return;
       }
       auto m = ncc::make_msg(kTagLeaderUp);
@@ -183,42 +140,41 @@ ArgmaxResult aggregate_argmax(ncc::Network& net, const TreeOverlay& tree,
   };
   std::vector<Best> best(n);
   std::vector<std::uint8_t> left_done(n, 0), right_done(n, 0), sent(n, 0);
-  std::atomic<std::size_t> completed{0};
+  net.clear_active();
   for (Slot s = 0; s < n; ++s) {
     if (!tree.member(s)) continue;
     best[s] = {key[s], net.id_of(s)};
     if (tree.nodes[s].left == kNoNode) left_done[s] = 1;
     if (tree.nodes[s].right == kNoNode) right_done[s] = 1;
+    if (left_done[s] && right_done[s]) net.wake(s);  // leaves start
   }
   auto better = [](const Best& a, const Best& b) {
     if (a.key != b.key) return a.key > b.key;
     return a.id < b.id;
   };
 
-  while (completed.load() < members) {
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      if (!tree.member(s) || sent[s]) return;
-      const auto& nd = tree.nodes[s];
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagArgmax) continue;
-        const Best cand{m.word(0), m.id_word(1)};
-        if (m.src == nd.left) left_done[s] = 1;
-        else if (m.src == nd.right) right_done[s] = 1;
-        else continue;
-        if (better(cand, best[s])) best[s] = cand;
+  net.run_active([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (!tree.member(s) || sent[s]) return;
+    const auto& nd = tree.nodes[s];
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagArgmax) continue;
+      const Best cand{m.word(0), m.id_word(1)};
+      if (m.src == nd.left) left_done[s] = 1;
+      else if (m.src == nd.right) right_done[s] = 1;
+      else continue;
+      if (better(cand, best[s])) best[s] = cand;
+    }
+    if (left_done[s] && right_done[s]) {
+      sent[s] = 1;
+      if (nd.parent != kNoNode) {
+        ctx.send(nd.parent, ncc::make_msg(kTagArgmax)
+                                .push(best[s].key)
+                                .push_id(best[s].id));
       }
-      if (left_done[s] && right_done[s]) {
-        sent[s] = 1;
-        completed.fetch_add(1);
-        if (nd.parent != kNoNode) {
-          ctx.send(nd.parent, ncc::make_msg(kTagArgmax)
-                                  .push(best[s].key)
-                                  .push_id(best[s].id));
-        }
-      }
-    });
-  }
+    }
+  });
+  DGR_CHECK_MSG(sent[tree.root], "argmax wave stalled");
   result.key = best[tree.root].key;
   result.id = best[tree.root].id;
   // Flood the winner: first its ID, then its key.
@@ -232,14 +188,12 @@ ncc::NodeId announce_median(ncc::Network& net, const TreeOverlay& tree,
   const std::size_t members = path.order.size();
   DGR_CHECK(members > 0);
   const auto median_pos = static_cast<Position>((members - 1) / 2);
-  Slot median = kNoSlot;
-  for (const Slot s : path.order) {
-    if (path.pos[s] == median_pos) {
-      median = s;
-      break;
-    }
-  }
-  DGR_CHECK_MSG(median != kNoSlot, "positions not computed (run build_bbst)");
+  // path.order is the referee's position -> slot table, so the median is a
+  // direct lookup (the old code linearly scanned order for the slot whose
+  // pos matched). The check still pins that positions were computed.
+  const Slot median = path.order[static_cast<std::size_t>(median_pos)];
+  DGR_CHECK_MSG(median != kNoSlot && path.pos[median] == median_pos,
+                "positions not computed (run build_bbst)");
   broadcast_from_leader(net, tree, median, net.id_of(median),
                         /*value_is_id=*/true);
   return net.id_of(median);

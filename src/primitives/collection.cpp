@@ -1,8 +1,5 @@
 #include "primitives/collection.h"
 
-#include <atomic>
-#include <mutex>
-
 #include "ncc/send_queue.h"
 #include "primitives/broadcast.h"
 #include "util/check.h"
@@ -39,24 +36,27 @@ std::vector<std::uint64_t> global_collect(
     queues[s].push(leader_id, ncc::make_msg(kTagCollect).push(token[s]));
   }
 
-  std::vector<std::uint64_t> collected;
-  std::mutex collected_mu;
-  std::atomic<std::size_t> busy{1};
-  while (busy.load() != 0) {
-    busy.store(0);
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      if (s == leader) {
-        for (const auto& m : ctx.inbox()) {
-          if (m.tag != kTagCollect) continue;
-          std::scoped_lock lk(collected_mu);
-          collected.push_back(m.word(0));
-        }
-      }
-      queues[s].pump(ctx);
-      if (!queues[s].idle()) busy.fetch_add(1);
-    });
+  // Frontier: token holders seed it (they know they contribute), receipt
+  // keeps the leader on it, and queue backlog / in-flight sends hold a
+  // contributor on it until its token is known-delivered.
+  net.clear_active();
+  for (Slot s = 0; s < n; ++s) {
+    if (has[s]) net.wake(s);
   }
+  // Only the leader's body appends, and a slot's body runs on exactly one
+  // worker per round, so no synchronization is needed.
+  std::vector<std::uint64_t> collected;
+  net.run_active([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (s == leader) {
+      for (const auto& m : ctx.inbox()) {
+        if (m.tag != kTagCollect) continue;
+        collected.push_back(m.word(0));
+      }
+    }
+    queues[s].pump(ctx);
+    if (!queues[s].idle()) ctx.wake();
+  });
   return collected;
 }
 
@@ -79,21 +79,21 @@ std::uint64_t direct_exchange(ncc::Network& net,
     }
   }
 
-  const std::uint64_t start = net.stats().rounds;
-  std::atomic<std::size_t> busy{1};
-  while (busy.load() != 0) {
-    busy.store(0);
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagDirect) continue;
-        on_deliver(s, m.src, static_cast<std::uint32_t>(m.word(1)), m.word(0));
-      }
-      queues[s].pump(ctx);
-      if (!queues[s].idle()) busy.fetch_add(1);
-    });
+  // Frontier: senders seed it, receipt carries delivery, backlog holds a
+  // sender on it until its batch is known-delivered.
+  net.clear_active();
+  for (Slot s = 0; s < n; ++s) {
+    if (!batch[s].empty()) net.wake(s);
   }
-  return net.stats().rounds - start;
+  return net.run_active([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagDirect) continue;
+      on_deliver(s, m.src, static_cast<std::uint32_t>(m.word(1)), m.word(0));
+    }
+    queues[s].pump(ctx);
+    if (!queues[s].idle()) ctx.wake();
+  });
 }
 
 }  // namespace dgr::prim

@@ -50,4 +50,14 @@ PathOverlay referee_path(const ncc::Network& net,
 /// Referee check: pred/succ/pos are mutually consistent with `order`.
 bool validate_path(const ncc::Network& net, const PathOverlay& path);
 
+/// Seed the engine's active set with every path member, dropping whatever
+/// frontier a previous phase left behind (the in-model reading: each member
+/// knows from its own state that the phase starts now). The standard
+/// preamble of every frontier-driven primitive that begins with an
+/// all-member round.
+inline void wake_members(ncc::Network& net, const PathOverlay& path) {
+  net.clear_active();
+  for (const Slot s : path.order) net.wake(s);
+}
+
 }  // namespace dgr::prim

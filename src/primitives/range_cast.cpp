@@ -1,7 +1,5 @@
 #include "primitives/range_cast.h"
 
-#include <atomic>
-
 #include "ncc/send_queue.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -87,32 +85,34 @@ std::uint64_t range_multicast(ncc::Network& net, const PathOverlay& path,
     }
   };
 
-  // Seed round: initiators resolve their own tasks (delivering to
-  // themselves if they sit inside their own range).
-  const std::uint64_t start = net.stats().rounds;
-  std::atomic<std::size_t> busy{1};
-  while (busy.load() != 0) {
-    busy.store(0);
-    net.round([&](ncc::Ctx& ctx) {
-      const Slot s = ctx.slot();
-      if (net.stats().rounds == start) {
-        for (const auto& t : tasks[s]) resolve(ctx, t.lo, t.hi, t);
-      }
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagRangeToken) continue;
-        RangeCastTask t;
-        t.lo = m.sword(0);
-        t.hi = m.sword(1);
-        t.payload = m.word(2);
-        t.payload_is_id = (m.id_mask & (1u << 2)) != 0;
-        t.user_tag = static_cast<std::uint32_t>(m.word(3));
-        resolve(ctx, t.lo, t.hi, t);
-      }
-      queues[s].pump(ctx);
-      if (!queues[s].idle()) busy.fetch_add(1);
-    });
+  // Frontier: the initiators seed it (they know they hold tasks); token
+  // receipt carries it; a node with queue backlog or in-flight sends holds
+  // itself on it. The route drains when no token is anywhere in motion —
+  // "active set empty" replaces the old atomic busy counter and its
+  // all-slot rescans.
+  net.clear_active();
+  for (Slot s = 0; s < n; ++s) {
+    if (!tasks[s].empty()) net.wake(s);
   }
-  return net.stats().rounds - start;
+  const std::uint64_t start = net.stats().rounds;
+  return net.run_active([&](ncc::Ctx& ctx) {
+    const Slot s = ctx.slot();
+    if (net.stats().rounds == start) {
+      for (const auto& t : tasks[s]) resolve(ctx, t.lo, t.hi, t);
+    }
+    for (const auto& m : ctx.inbox()) {
+      if (m.tag != kTagRangeToken) continue;
+      RangeCastTask t;
+      t.lo = m.sword(0);
+      t.hi = m.sword(1);
+      t.payload = m.word(2);
+      t.payload_is_id = (m.id_mask & (1u << 2)) != 0;
+      t.user_tag = static_cast<std::uint32_t>(m.word(3));
+      resolve(ctx, t.lo, t.hi, t);
+    }
+    queues[s].pump(ctx);
+    if (!queues[s].idle()) ctx.wake();
+  });
 }
 
 }  // namespace dgr::prim

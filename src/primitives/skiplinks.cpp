@@ -34,8 +34,15 @@ SkipOverlay build_skiplinks(ncc::Network& net, const PathOverlay& path) {
   // Level k from level k-1: my 2^k-ahead is my 2^(k-1)-ahead's 2^(k-1)-ahead;
   // that node pushes the link to me (and symmetrically for behind). One send
   // round per level plus a trailing drain round.
+  //
+  // Frontier: every member starts (level-0 links are initial path
+  // knowledge); afterwards a node sends at level k only if both its level
+  // k-1 links exist, which for k >= 2 means both announcements reached it
+  // last round — so receipt keeps exactly the needed nodes active, and the
+  // 2^k nodes that fell off the path ends drop out of the frontier.
+  wake_members(net, path);
   for (int k = 1; k <= levels; ++k) {
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
       for (const auto& m : ctx.inbox()) {

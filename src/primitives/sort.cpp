@@ -110,12 +110,20 @@ SortResult distributed_sort(ncc::Network& net, const PathOverlay& path,
     pending_role[s] = 0;
   };
 
+  // Frontier: a Batcher stage involves nearly every position, and a node
+  // idle at stage k can be a comparator end at stage k+1, so members hold
+  // themselves active (self-wake) through the stage schedule — the stage
+  // count is common knowledge — and release at the drain round, which ends
+  // the wave. The engine still owes us the win that matters here: inboxes,
+  // histograms, and frontier bookkeeping all scale with the traffic.
+  wake_members(net, path);
   for (std::size_t si = 0; si <= stages.size(); ++si) {
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
       ingest(ctx);
       if (si == stages.size()) return;  // drain-only round
+      ctx.wake();
       const Stage st = stages[si];
       const auto pos = static_cast<std::uint64_t>(path.pos[s]);
       NodeId partner = kNoNode;
@@ -143,19 +151,22 @@ namespace {
 // Rewiring shared by both sorting networks. R1: each holder shows its final
 // record to its original path neighbours. R2: each holder tells the
 // record's owner its rank and new neighbours. R3: owners ingest. Fills
-// out.path and builds the sorted skip overlay.
+// out.path and builds the sorted skip overlay. R1 seeds the frontier with
+// every member; R2 and R3 ride on receipt.
 void finish_rewire(ncc::Network& net, const PathOverlay& path,
                    const std::vector<Record>& rec, SortResult& out) {
   const std::size_t n = net.n();
   std::vector<Record> nb_pred(n), nb_succ(n);
-  net.round([&](ncc::Ctx& ctx) {
+  wake_members(net, path);
+  net.round_active([&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
     if (!path.member(s)) return;
     auto m = ncc::make_msg(kTagNeighRec).push(rec[s].key).push_id(rec[s].id);
     if (path.pred[s] != kNoNode) ctx.send(path.pred[s], m);
     if (path.succ[s] != kNoNode) ctx.send(path.succ[s], m);
+    ctx.wake();  // R2 runs for every member, even neighbourless singletons
   });
-  net.round([&](ncc::Ctx& ctx) {
+  net.round_active([&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
     if (!path.member(s)) return;
     for (const auto& m : ctx.inbox()) {
@@ -183,7 +194,7 @@ void finish_rewire(ncc::Network& net, const PathOverlay& path,
     m.push(flags);
     ctx.send(rec[s].id, m);
   });
-  net.round([&](ncc::Ctx& ctx) {
+  net.round_active([&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
     if (!path.member(s)) return;
     for (const auto& m : ctx.inbox()) {
@@ -237,9 +248,12 @@ SortResult transposition_sort(ncc::Network& net, const PathOverlay& path,
 
   // Stage t compares pairs (i, i+1) with i ≡ t (mod 2); `members` stages
   // suffice (0-1 principle). pending_role: 1 = lower end, 2 = upper end.
+  // Frontier: as in the Batcher network, members self-wake through the
+  // (common knowledge) stage schedule and release at the drain round.
   std::vector<std::uint8_t> pending_role(n, 0);
+  wake_members(net, path);
   for (std::size_t t = 0; t <= members; ++t) {
-    net.round([&](ncc::Ctx& ctx) {
+    net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
       for (const auto& m : ctx.inbox()) {
@@ -253,6 +267,7 @@ SortResult transposition_sort(ncc::Network& net, const PathOverlay& path,
       }
       pending_role[s] = 0;
       if (t == members) return;  // drain-only round
+      ctx.wake();
       const auto pos = static_cast<std::uint64_t>(path.pos[s]);
       NodeId partner = kNoNode;
       if (pos % 2 == t % 2 && path.succ[s] != kNoNode) {

@@ -45,6 +45,7 @@ ConnectivityResult realize_connectivity_ncc1(
 
   ConnectivityResult result;
   result.stored.assign(n, {});
+  net.clear_active();  // frontier hygiene: the waves below seed their own
   const TreeOverlay tree = prim::common_knowledge_tree(net);
 
   if (!thresholds_feasible(net, tree, rho)) {
@@ -97,6 +98,7 @@ ConnectivityResult realize_connectivity_ncc0(
   ConnectivityResult result;
   result.stored.assign(n, {});
   result.adjacency.assign(n, {});
+  net.clear_active();  // frontier hygiene: the waves below seed their own
 
   // Bootstrap structures on Gk.
   PathOverlay path = prim::undirect_initial_path(net);

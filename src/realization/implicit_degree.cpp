@@ -35,6 +35,10 @@ ImplicitDegreeResult realize_degrees_on_path(
 
   ImplicitDegreeResult result;
   result.stored.assign(n, {});
+  // The §3 primitives composed below are frontier-driven (active-set
+  // rounds); start from a clean frontier so a caller's stray wakes cannot
+  // perturb the first wave.
+  net.clear_active();
 
   // Residual degrees; non-members carry 0 so shared aggregations see
   // identity values.
@@ -77,6 +81,12 @@ ImplicitDegreeResult realize_degrees_on_path(
   SkipOverlay cur_skip = skip;
   // Node-local underflow flags ("my residual would go negative").
   std::vector<std::uint64_t> underflow(n, 0);
+  // Per-phase scratch, hoisted out of the phase loop: each phase rewrites
+  // these in full, so reallocating n-sized vectors every phase only churned
+  // the allocator.
+  std::vector<std::uint64_t> sort_key(n, 0);
+  std::vector<std::uint64_t> indicator(n, 0);
+  std::vector<std::vector<prim::RangeCastTask>> tasks(n);
   // Retired sources must sort after everything else with the same residual
   // (in particular after never-sourced zero-residual nodes). Otherwise an
   // envelope-mode member range can contain a retired source that is already
@@ -94,7 +104,7 @@ ImplicitDegreeResult realize_degrees_on_path(
     ++result.phases;
 
     // Step 1: sort by residual degree, non-increasing (retired last).
-    std::vector<std::uint64_t> sort_key(n, 0);
+    std::fill(sort_key.begin(), sort_key.end(), 0);
     for (const ncc::Slot s : cur_path.order)
       sort_key[s] = 2 * residual[s] + (has_sourced[s] ? 0 : 1);
     prim::SortResult sorted =
@@ -109,7 +119,7 @@ ImplicitDegreeResult realize_degrees_on_path(
     if (delta == 0) break;  // everyone satisfied
 
     // Step 3: broadcast N = number of nodes with degree δ.
-    std::vector<std::uint64_t> indicator(n, 0);
+    std::fill(indicator.begin(), indicator.end(), 0);
     for (const ncc::Slot s : cur_path.order)
       indicator[s] = residual[s] == delta ? 1 : 0;
     const std::uint64_t big_n = prim::aggregate_and_broadcast(
@@ -120,7 +130,7 @@ ImplicitDegreeResult realize_degrees_on_path(
     // Step 4: q parallel star groups. Group α (0-based) has its source at
     // position α(δ+1) and members at the next δ positions. Every node
     // derives its role from its own position and the broadcast (δ, N).
-    std::vector<std::vector<prim::RangeCastTask>> tasks(n);
+    for (auto& t : tasks) t.clear();
     for (const ncc::Slot s : cur_path.order) {
       const auto pos = static_cast<std::uint64_t>(cur_path.pos[s]);
       if (pos % (delta + 1) != 0) continue;

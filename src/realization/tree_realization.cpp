@@ -30,10 +30,14 @@ struct TreeSetup {
 
 // Shared preamble of Algorithms 4 and 5: undirect Gk, build structures,
 // verify Σd = 2(n-1) and min degree >= 1 (for n >= 2), sort by degree.
+// The primitives composed here drive the engine's active-set rounds; the
+// preamble starts from a clean frontier so stray referee wakes left by a
+// caller cannot leak into the first wave.
 TreeSetup tree_setup(ncc::Network& net,
                      const std::vector<std::uint64_t>& degree) {
   const std::size_t n = net.n();
   DGR_CHECK(degree.size() == n);
+  net.clear_active();
 
   TreeSetup setup;
   PathOverlay path = prim::undirect_initial_path(net);

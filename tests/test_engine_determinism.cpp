@@ -24,24 +24,19 @@ using ncc::make_msg;
 using ncc::NodeId;
 using ncc::Slot;
 
-// Full-fidelity fingerprint of a finished simulation: every NetStats scalar
-// plus per-node knowledge sizes and an order-sensitive checksum of every
-// inbox and bounce observed by every node.
+// Full-fidelity fingerprint of a finished simulation: the shared engine
+// fingerprint (every NetStats field + per-node knowledge; see testing.h)
+// plus an order-sensitive checksum of every inbox and bounce observed by
+// every node.
 struct RunFingerprint {
-  ncc::NetStats stats;
-  std::vector<std::size_t> knowledge;
+  testing::NetFingerprint net;
   std::vector<std::uint64_t> inbox_digest;
   std::vector<std::uint64_t> bounce_digest;
 
+  const ncc::NetStats& stats() const { return net.stats; }
+
   bool operator==(const RunFingerprint& o) const {
-    return stats.rounds == o.stats.rounds &&
-           stats.messages_sent == o.stats.messages_sent &&
-           stats.messages_delivered == o.stats.messages_delivered &&
-           stats.messages_bounced == o.stats.messages_bounced &&
-           stats.messages_dropped == o.stats.messages_dropped &&
-           stats.max_send_in_round == o.stats.max_send_in_round &&
-           stats.max_recv_in_round == o.stats.max_recv_in_round &&
-           knowledge == o.knowledge && inbox_digest == o.inbox_digest &&
+    return net == o.net && inbox_digest == o.inbox_digest &&
            bounce_digest == o.bounce_digest;
   }
 };
@@ -92,8 +87,7 @@ RunFingerprint run_lossy_crashy(unsigned threads, bool traced = false) {
     });
   }
 
-  fp.stats = net.stats();
-  for (Slot s = 0; s < kN; ++s) fp.knowledge.push_back(net.knowledge_size(s));
+  fp.net = testing::net_fingerprint(net);
   return fp;
 }
 
@@ -108,9 +102,9 @@ TEST(EngineDeterminism, LossyCrashyTranscriptInvariantAcrossThreadCounts) {
   EXPECT_TRUE(serial == run_lossy_crashy(8, /*traced=*/true));
 
   // Sanity: the workload really exercised every delivery branch.
-  EXPECT_GT(serial.stats.messages_dropped, 0u);
-  EXPECT_GT(serial.stats.messages_bounced, 0u);
-  EXPECT_GT(serial.stats.messages_delivered, 0u);
+  EXPECT_GT(serial.stats().messages_dropped, 0u);
+  EXPECT_GT(serial.stats().messages_bounced, 0u);
+  EXPECT_GT(serial.stats().messages_delivered, 0u);
 }
 
 // The oversubscription path must accept exactly the subset selected by a
@@ -262,6 +256,26 @@ TEST(EngineDeterminism, CaughtUnknownForwardLeavesNoTrace) {
   EXPECT_EQ(net.stats().messages_sent, 1u);
 }
 
+// NCC1 semantics: common knowledge covers every ID, so a clique node may
+// forward an arbitrary handle as an ID word without the engine resolving it
+// against the node table (the word may be an application-level value). On
+// NCC0 the same send is a KT0 violation (CaughtUnknownForwardLeavesNoTrace
+// above); this pins the clique side so datapath rewrites cannot silently
+// tighten it.
+TEST(EngineDeterminism, CliqueForwardsUnresolvedIdWords) {
+  auto net = testing::make_ncc1(4, 44);
+  const NodeId handle = 0xDEADBEEFULL;  // no node has this ID
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() == 0) ctx.send(net.id_of(1), make_msg(6).push_id(handle));
+  });
+  std::uint64_t seen = 0;
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() == 1 && !ctx.inbox().empty())
+      seen = ctx.inbox()[0].id_word(0);
+  });
+  EXPECT_EQ(seen, handle);
+}
+
 // A hand-corrupted Message::size (bypassing push()'s guard) must be rejected
 // before the wire encoder touches it, not read out of bounds.
 TEST(EngineDeterminism, CorruptMessageSizeRejected) {
@@ -273,6 +287,87 @@ TEST(EngineDeterminism, CorruptMessageSizeRejected) {
     EXPECT_THROW(ctx.send(net.id_of(1), m), CheckError);
   });
   EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+// Active-set scheduling: a frontier-driven workload — seeded by a referee
+// wake, spread by receipt, sustained by self-wakes and bounce retries, with
+// link loss and mid-run crashes — must produce a bit-for-bit identical
+// transcript for any thread count, for the dense-dispatch fallback
+// (Config::sparse_rounds = false), and under a trace attachment. The body
+// honours the inactive-silence contract: a slot acts only on evidence in
+// its own state (inbox, bounces, its remembered self-wake, being the
+// seeded starter), so dense dispatch runs it as a no-op everywhere else.
+RunFingerprint run_active_wave(unsigned threads, bool sparse,
+                               bool traced = false) {
+  constexpr std::size_t kN = 160;
+  ncc::Config cfg;
+  cfg.seed = 4040;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = threads;
+  cfg.sparse_rounds = sparse;
+  cfg.drop_probability = 0.1;
+  ncc::Network net(kN, cfg);
+  ncc::Trace trace;
+  if (traced) net.set_trace(&trace);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(kN, 0);
+  fp.bounce_digest.assign(kN, 0);
+
+  std::vector<std::uint8_t> woke(kN, 0);
+  net.wake(7);  // referee seed: slot 7 starts the wave
+  for (int r = 0; r < 25; ++r) {
+    if (r == 6) net.crash(31);
+    if (r == 14) net.crash(8);
+    net.round_active([&](Ctx& ctx) {
+      const Slot s = ctx.slot();
+      auto& in = fp.inbox_digest[s];
+      for (const auto& m : ctx.inbox()) in = hash_mix(in, m.src, m.word(0));
+      auto& bo = fp.bounce_digest[s];
+      for (const auto& b : ctx.bounced()) bo = hash_mix(bo, b.dst, b.msg.tag);
+      const bool started = r == 0 && s == 7;
+      if (!started && ctx.inbox().empty() && ctx.bounced().empty() &&
+          !woke[s]) {
+        return;  // inactive-silent: no sends, no RNG, no state change
+      }
+      woke[s] = 0;
+      const auto ids = ctx.all_ids();
+      const int fan = 2 + static_cast<int>(ctx.rng().below(6));
+      for (int i = 0; i < fan; ++i) {
+        // Half the traffic hits a 2-slot hot set so receivers oversubscribe
+        // and the bounce path keeps feeding the frontier.
+        const std::size_t pick = ctx.rng().chance(0.5)
+                                     ? ctx.rng().below(2)
+                                     : ctx.rng().below(ids.size());
+        ctx.send(ids[pick], make_msg(9).push(ctx.rng().below(1u << 16)));
+      }
+      if (ctx.rng().chance(0.2)) {
+        ctx.wake();
+        woke[s] = 1;  // node-local memory of the self-wake
+      }
+    });
+  }
+
+  fp.net = testing::net_fingerprint(net);
+  return fp;
+}
+
+TEST(EngineDeterminism, ActiveWaveTranscriptInvariantAcrossSchedulers) {
+  const RunFingerprint ref = run_active_wave(1, /*sparse=*/true);
+  // Any thread count, sparse.
+  EXPECT_TRUE(ref == run_active_wave(2, true));
+  EXPECT_TRUE(ref == run_active_wave(8, true));
+  // Dense-dispatch fallback, any thread count.
+  EXPECT_TRUE(ref == run_active_wave(1, false));
+  EXPECT_TRUE(ref == run_active_wave(8, false));
+  // Traced compat path on top of sparse scheduling.
+  EXPECT_TRUE(ref == run_active_wave(1, true, /*traced=*/true));
+  EXPECT_TRUE(ref == run_active_wave(8, true, /*traced=*/true));
+
+  // The wave genuinely exercised every delivery branch.
+  EXPECT_GT(ref.stats().messages_dropped, 0u);
+  EXPECT_GT(ref.stats().messages_bounced, 0u);
+  EXPECT_GT(ref.stats().messages_delivered, 0u);
 }
 
 TEST(EngineDeterminism, CrashedCountIsIncrementalAndIdempotent) {

@@ -1,12 +1,44 @@
 // Shared helpers for the dgr test suite.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "ncc/config.h"
 #include "ncc/network.h"
 
 namespace dgr::testing {
+
+/// Engine-visible end state of a finished simulation, shared by the
+/// determinism/equivalence suites so the list of compared NetStats fields
+/// lives in exactly one place: a new counter added here is covered by every
+/// transcript-invariance test at once.
+struct NetFingerprint {
+  ncc::NetStats stats;
+  std::vector<std::size_t> knowledge;
+
+  bool operator==(const NetFingerprint& o) const {
+    return stats.rounds == o.stats.rounds &&
+           stats.messages_sent == o.stats.messages_sent &&
+           stats.messages_delivered == o.stats.messages_delivered &&
+           stats.messages_bounced == o.stats.messages_bounced &&
+           stats.messages_dropped == o.stats.messages_dropped &&
+           stats.max_send_in_round == o.stats.max_send_in_round &&
+           stats.max_recv_in_round == o.stats.max_recv_in_round &&
+           stats.scope_rounds == o.stats.scope_rounds &&
+           knowledge == o.knowledge;
+  }
+};
+
+inline NetFingerprint net_fingerprint(const ncc::Network& net) {
+  NetFingerprint fp;
+  fp.stats = net.stats();
+  fp.knowledge.reserve(net.n());
+  for (ncc::Slot s = 0; s < net.n(); ++s)
+    fp.knowledge.push_back(net.knowledge_size(s));
+  return fp;
+}
 
 /// NCC0 network with bounce overflow (the default production setup).
 inline ncc::Network make_ncc0(std::size_t n, std::uint64_t seed = 1) {
