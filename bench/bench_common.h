@@ -19,10 +19,13 @@
 namespace dgr::bench {
 
 inline ncc::Network make_net(std::size_t n, std::uint64_t seed,
-                             bool clique = false) {
+                             bool clique = false, bool sparse_rounds = true) {
   ncc::Config cfg;
   cfg.seed = seed;
   if (clique) cfg.initial = ncc::InitialKnowledge::kClique;
+  // sparse_rounds = false is the dense reference dispatch (round_active
+  // runs every slot); benchmarked so the reference path can't silently rot.
+  cfg.sparse_rounds = sparse_rounds;
   return ncc::Network(n, cfg);
 }
 

@@ -6,14 +6,23 @@
 // knowledge updates, and the gather/deliver pipeline — under three synthetic
 // workloads:
 //
-//   Flood    — every node sends its full capacity() budget to uniformly
-//              random targets each round. Maximum datapath pressure; a few
-//              destinations oversubscribe, so the bounce path runs too.
-//   Sparse   — every node sends exactly one message per round. Dominated by
-//              per-round fixed costs (body dispatch, buffer resets).
-//   Overflow — every node aims half its budget at 8 hot destinations, so
-//              almost everything bounces. Stresses the oversubscription
-//              (random-subset selection) path and bounced() bookkeeping.
+//   Flood     — every node sends its full capacity() budget to uniformly
+//               random targets each round. Maximum datapath pressure; a few
+//               destinations oversubscribe, so the bounce path runs too.
+//   FloodScan — Flood plus a receive-side scan: every node walks its inbox
+//               through the zero-copy InboxView and folds tag + word 0.
+//               Measures the end-to-end receive path (lazy wire-record
+//               decode in place, no Message materialization).
+//   Sparse    — every node sends exactly one message per round. Dominated
+//               by per-round fixed costs (body dispatch, buffer resets).
+//   Overflow  — every node aims half its budget at 8 hot destinations, so
+//               almost everything bounces. Stresses the oversubscription
+//               (random-subset selection) path and bounced() bookkeeping.
+//
+// The all-dense workloads also exercise the engine's dense-round fast path
+// (send-side histogram upkeep bypassed, sequential header re-stream in
+// deliver) from round 2 on — the density prediction needs one round of
+// history.
 //
 // Counters: "messages/s" (engine-accepted sends per wall second, the headline
 // number), "rounds/s", and "msgs/round". Sweeps n in {256..16384} and
@@ -74,6 +83,33 @@ void BM_EngineFlood(benchmark::State& state) {
   report_throughput(state, net, rounds0, msgs0);
 }
 
+void BM_EngineFloodScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ncc::Network net(n, engine_cfg(static_cast<unsigned>(state.range(1))));
+  const auto cap = static_cast<std::size_t>(net.capacity());
+  std::vector<ncc::NodeId> targets(n * cap);
+  {
+    Rng tr(99);
+    for (auto& t : targets) t = net.id_of(static_cast<ncc::Slot>(tr.below(n)));
+  }
+  std::vector<std::uint64_t> sink(n, 0);
+  const std::uint64_t rounds0 = net.stats().rounds;
+  const std::uint64_t msgs0 = net.stats().messages_sent;
+  for (auto _ : state) {
+    net.round([&](ncc::Ctx& ctx) {
+      std::uint64_t acc = 0;
+      for (const auto m : ctx.inbox_view()) acc += m.tag() + m.word(0);
+      sink[ctx.slot()] += acc;
+      const ncc::NodeId* t = targets.data() + ctx.slot() * cap;
+      for (std::size_t i = 0; i < cap; ++i) {
+        ctx.send(t[i], ncc::make_msg(7).push(static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  benchmark::DoNotOptimize(sink.data());
+  report_throughput(state, net, rounds0, msgs0);
+}
+
 void BM_EngineSparse(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   ncc::Network net(n, engine_cfg(static_cast<unsigned>(state.range(1))));
@@ -122,6 +158,7 @@ void EngineArgs(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_EngineFlood)->Apply(EngineArgs)->UseRealTime();
+BENCHMARK(BM_EngineFloodScan)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineSparse)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineOverflow)->Apply(EngineArgs)->UseRealTime();
 

@@ -86,11 +86,14 @@ BENCHMARK(E2_DistributedSort)
     ->Iterations(2)
     ->UseManualTime();
 
-void E3_AggregateAndBroadcast(benchmark::State& state) {
+// Shared by the sparse (production) and dense-reference variants below, so
+// the two stay the exact same workload and only the scheduling mode can
+// differ between them.
+void run_e3_aggregate(benchmark::State& state, bool sparse_rounds) {
   const auto n = static_cast<std::size_t>(state.range(0));
   double rounds = 0;
   for (auto _ : state) {
-    auto net = bench::make_net(n, 44);
+    auto net = bench::make_net(n, 44, /*clique=*/false, sparse_rounds);
     prim::PathOverlay path = prim::undirect_initial_path(net);
     const prim::TreeOverlay tree = prim::build_bbst(net, path);
     std::vector<std::uint64_t> v(n, 1);
@@ -105,9 +108,27 @@ void E3_AggregateAndBroadcast(benchmark::State& state) {
   bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
                                           ceil_log2(n));
 }
+
+void E3_AggregateAndBroadcast(benchmark::State& state) {
+  run_e3_aggregate(state, /*sparse_rounds=*/true);
+}
 BENCHMARK(E3_AggregateAndBroadcast)
     ->RangeMultiplier(4)
     ->Range(256, 65536)
+    ->Iterations(2)
+    ->UseManualTime();
+
+// The same aggregation wave under the dense reference dispatch
+// (Config::sparse_rounds = false): round_active runs every slot, which is
+// the transcript-equivalence reference mode for the ActiveSetEquivalence
+// suite. Benchmarked (and CI-smoked) so the dense reference path cannot
+// silently rot while all production primitives drive sparse scheduling.
+void E3_AggregateAndBroadcastDense(benchmark::State& state) {
+  run_e3_aggregate(state, /*sparse_rounds=*/false);
+}
+BENCHMARK(E3_AggregateAndBroadcastDense)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
     ->Iterations(2)
     ->UseManualTime();
 

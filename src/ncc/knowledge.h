@@ -88,6 +88,31 @@ class Knowledge {
     if (known_ * 2 >= tab_.size()) grow();
   }
 
+  /// Batched learn over the contiguous ID-slot trailer of one wire record
+  /// (the delivery-side learn pass runs dest-major over these). Hoists the
+  /// representation dispatch out of the per-slot loop, so the dense form is
+  /// a tight load-or-store loop over sequential trailer words — the shape
+  /// the compiler can unroll — instead of a branchy call per slot.
+  void learn_trailer(const std::uint64_t* slots, std::size_t cnt) {
+    if (all_ || cnt == 0) return;
+    if (dense_) {
+      std::size_t gained = 0;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const auto s = static_cast<Slot>(slots[i]);
+        std::uint64_t& w = words_[s >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (s & 63);
+        gained += static_cast<std::size_t>((w & bit) == 0);
+        w |= bit;
+      }
+      known_ += gained;
+      return;
+    }
+    // Sparse: learn_slot handles growth, which may promote to the dense
+    // form mid-batch — it re-dispatches per call, so that is safe.
+    for (std::size_t i = 0; i < cnt; ++i)
+      learn_slot(static_cast<Slot>(slots[i]));
+  }
+
   /// Number of distinct IDs known; n must be supplied for the NCC1 case.
   std::size_t size(std::size_t n) const { return all_ ? n : known_; }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "ncc/ids.h"
@@ -59,5 +60,83 @@ inline Message make_msg(std::uint32_t tag) {
   m.tag = tag;
   return m;
 }
+
+/// The wire-record codec shared by the outbox arenas, the delivery
+/// pipeline, and the inbox arena (the receive side stores records verbatim;
+/// see InboxView in network.h). A record is `2 + size (+ trailer)` 64-bit
+/// words:
+///   word 0 — routing: src slot | dst slot << 32
+///   word 1 — payload header: tag | size << 32 | id_mask << 40
+///   words 2 .. 2+size-1 — the payload words actually in use
+///   then, on learning (non-clique) networks only, one trailer word per
+///   id_mask bit: that payload ID's slot, resolved at send time so the
+///   delivery-side learn pass never touches the IdMap.
+/// A one-word message costs 24 bytes instead of sizeof(Message) == 48, and
+/// records are written and re-read strictly sequentially — no per-record
+/// offsets exist anywhere; every consumer walks a cursor.
+namespace wire {
+
+inline constexpr std::size_t kHeaderWords = 2;
+
+inline std::uint64_t routing_word(Slot src, Slot dst) {
+  return static_cast<std::uint64_t>(src) | (static_cast<std::uint64_t>(dst) << 32);
+}
+inline std::uint64_t header_word(const Message& m) {
+  return static_cast<std::uint64_t>(m.tag) |
+         (static_cast<std::uint64_t>(m.size) << 32) |
+         (static_cast<std::uint64_t>(m.id_mask) << 40);
+}
+
+inline Slot src(const std::uint64_t* rec) { return static_cast<Slot>(rec[0]); }
+inline Slot dst(const std::uint64_t* rec) {
+  return static_cast<Slot>(rec[0] >> 32);
+}
+/// Rewrite the destination in place (deliver() tombstones dropped records
+/// with kNoSlot).
+inline void retarget(std::uint64_t* rec, Slot dst) {
+  rec[0] = (rec[0] & 0xffffffffULL) | (static_cast<std::uint64_t>(dst) << 32);
+}
+inline std::uint32_t tag(const std::uint64_t* rec) {
+  return static_cast<std::uint32_t>(rec[1]);
+}
+inline std::uint8_t size(const std::uint64_t* rec) {
+  return static_cast<std::uint8_t>(rec[1] >> 32);
+}
+inline std::uint8_t id_mask(const std::uint64_t* rec) {
+  return static_cast<std::uint8_t>(rec[1] >> 40);
+}
+inline std::size_t trailer_words(std::uint8_t id_mask) {
+  return static_cast<std::size_t>(std::popcount(static_cast<unsigned>(id_mask)));
+}
+/// Total 64-bit words the record occupies; `trailered` says whether this
+/// network's records carry the ID-slot trailer (learning networks do,
+/// clique networks skip learning and stay trailerless).
+inline std::size_t record_words(const std::uint64_t* rec, bool trailered) {
+  const std::uint64_t h = rec[1];
+  std::size_t w = kHeaderWords + ((h >> 32) & 0xffu);
+  if (trailered)
+    w += trailer_words(static_cast<std::uint8_t>((h >> 40) & 0xffu));
+  return w;
+}
+/// The ID-word slot trailer (valid only on trailered records).
+inline const std::uint64_t* trailer(const std::uint64_t* rec) {
+  return rec + kHeaderWords + ((rec[1] >> 32) & 0xffu);
+}
+
+/// Materialize a full Message from its record. Only the `size` payload
+/// words in use are written; Message::word()/id_word() bound every read by
+/// size, so the bytes past it are never observable — skipping the zero-fill
+/// keeps 24B of stores per one-word message off the delivery path.
+inline void decode(const std::uint64_t* rec, NodeId src_id, Message& out) {
+  const std::uint64_t h = rec[1];
+  out.tag = static_cast<std::uint32_t>(h);
+  const auto sz = static_cast<std::uint8_t>(h >> 32);
+  out.size = sz;
+  out.id_mask = static_cast<std::uint8_t>(h >> 40);
+  for (std::uint8_t w = 0; w < sz; ++w) out.words[w] = rec[kHeaderWords + w];
+  out.src = src_id;
+}
+
+}  // namespace wire
 
 }  // namespace dgr::ncc

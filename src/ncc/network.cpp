@@ -28,42 +28,26 @@ void Ctx::OutArena::grow(std::size_t need) {
 
 namespace {
 
-// Accessors for the wire records described in Ctx::OutArena: word 0 routes
-// (src | dst << 32), word 1 heads the payload (tag | size << 32 |
-// id_mask << 40), then `size` payload words.
-inline Slot rec_src(const std::uint64_t* p) {
-  return static_cast<Slot>(p[0]);
-}
-inline Slot rec_dst(const std::uint64_t* p) {
-  return static_cast<Slot>(p[0] >> 32);
-}
-inline void rec_set_dst(std::uint64_t* p, Slot dst) {
-  p[0] = (p[0] & 0xffffffffULL) | (static_cast<std::uint64_t>(dst) << 32);
-}
-inline std::uint32_t rec_tag(const std::uint64_t* p) {
-  return static_cast<std::uint32_t>(p[1]);
-}
-/// Total 64-bit words the record at `p` occupies. Learning (non-clique)
-/// networks append one trailer word per ID-mask payload word (the ID's
-/// slot, resolved at send time); `trailered` says whether this network's
-/// records carry that trailer.
-inline std::size_t rec_words(const std::uint64_t* p, bool trailered) {
-  const std::uint64_t h = p[1];
-  std::size_t wsz = 2 + ((h >> 32) & 0xffu);
-  if (trailered)
-    wsz += static_cast<std::size_t>(
-        std::popcount(static_cast<unsigned>((h >> 40) & 0xffu)));
-  return wsz;
-}
-
-/// ID-word slot trailer of a record (valid only on trailered records).
-inline const std::uint64_t* rec_trailer(const std::uint64_t* p) {
-  return p + 2 + ((p[1] >> 32) & 0xffu);
-}
+// The wire-record codec lives in ncc::wire (message.h); deliver() below
+// walks records with wire::record_words cursors exactly as Ctx::send wrote
+// them, and the inbox arena stores accepted records verbatim.
 
 /// High bit of an inbox cursor: the destination is oversubscribed this
 /// round, so acceptance consults its overflow-bitmap cursor.
 constexpr std::uint32_t kOvfBit = 0x80000000u;
+
+// Packed per-destination accounting (OutArena::hist / Network::dest_count_):
+// message count in the low 32 bits, record words in the high 32. One add
+// maintains both.
+inline std::uint64_t pack_one(std::size_t rec_words) {
+  return std::uint64_t{1} | (static_cast<std::uint64_t>(rec_words) << 32);
+}
+inline std::size_t pk_count(std::uint64_t packed) {
+  return static_cast<std::size_t>(static_cast<std::uint32_t>(packed));
+}
+inline std::size_t pk_words(std::uint64_t packed) {
+  return static_cast<std::size_t>(packed >> 32);
+}
 
 /// Rounds touching at least n/kDenseSweep slots switch from list-driven
 /// scatters (sort the touched list, zero entries one by one) to sequential
@@ -95,20 +79,6 @@ void sorted_union_into(std::vector<Slot>& dst, const std::vector<Slot>& src,
   std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
                  std::back_inserter(scratch));
   dst.swap(scratch);
-}
-
-/// Materialize a full Message from its wire record. Only the `size` payload
-/// words in use are written; Message::word()/id_word() bound every read by
-/// size, so the bytes past it are never observable — skipping the zero-fill
-/// keeps 24B of stores per one-word message off the delivery path.
-inline void decode(const std::uint64_t* p, NodeId src, Message& out) {
-  const std::uint64_t h = p[1];
-  out.tag = static_cast<std::uint32_t>(h);
-  const auto size = static_cast<std::uint8_t>(h >> 32);
-  out.size = size;
-  out.id_mask = static_cast<std::uint8_t>(h >> 40);
-  for (std::uint8_t w = 0; w < size; ++w) out.words[w] = p[2 + w];
-  out.src = src;
 }
 
 }  // namespace
@@ -323,7 +293,7 @@ void Network::send_fail(Slot s, NodeId to, const std::uint64_t* rec,
   // Re-run the checks in their documented order so the thrown diagnostic is
   // the same one the checks would have produced inline.
   Message m;
-  decode(rec, kNoNode, m);
+  wire::decode(rec, kNoNode, m);
   DGR_CHECK_MSG(to != kNoNode, "send to null ID");
   const Knowledge& kn = know_[s];
   const Slot dst = id_map_.find(to);
@@ -446,6 +416,14 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
   }
   touched_dests_.clear();
 
+  // Dense-round fast path: when the previous delivery touched at least
+  // n/kDenseSweep destinations, predict this round dense too — Ctx::send
+  // skips histogram/first-touch upkeep and deliver() rebuilds the counts
+  // with a sequential header re-stream. Pure bookkeeping strategy (the
+  // transcript is identical either way), so a misprediction only costs one
+  // round of the slower variant.
+  dense_round_ = last_dense_;
+
   // Run the per-node body. Nodes are independent by contract, so slots can
   // be processed in parallel; all randomness is per-slot, so the transcript
   // is identical for any thread count. Tiny active sets skip the barrier.
@@ -497,6 +475,10 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
 void Network::deliver() {
   Rng delivery_rng(hash_mix(cfg_.seed, 0xDE11FE12ULL, stats_.rounds));
 
+  // The inbox arena is about to be repacked: every InboxView handed out for
+  // the finished round is now stale (debug builds diagnose dereferences).
+  ++inbox_gen_;
+
   // O(last round's frontier) cleanup of the per-slot state the previous
   // delivery wrote: inbox extents and bounce lists. Near-dense lists use a
   // sequential fill instead of a scatter (kDenseSweep below).
@@ -533,7 +515,8 @@ void Network::deliver() {
       std::uint64_t* const end = p + out.len;
       while (p < end) {
         ++sent;
-        const Slot dst = rec_dst(p);
+        const std::size_t rl = wire::record_words(p, trailered);
+        const Slot dst = wire::dst(p);
         // Link loss: the message silently disappears; the sender learns
         // nothing (unlike a capacity bounce). A crashed destination behaves
         // identically — the sender cannot tell the difference.
@@ -541,16 +524,33 @@ void Network::deliver() {
             (lossy && delivery_rng.chance(cfg_.drop_probability))) {
           ++dropped;
           if (trace_)
-            trace_->record({stats_.rounds, rec_src(p), dst, rec_tag(p),
+            trace_->record({stats_.rounds, wire::src(p), dst, wire::tag(p),
                             MessageOutcome::kDropped});
-          rec_set_dst(p, kNoSlot);  // tombstone: placement skips it
+          wire::retarget(p, kNoSlot);  // tombstone: placement skips it
         } else {
-          if (dest_count_[dst]++ == 0) touched_dests_.push_back(dst);
+          std::uint64_t& c = dest_count_[dst];
+          if (c == 0) touched_dests_.push_back(dst);
+          c += pack_one(rl);
         }
-        p += rec_words(p, trailered);
+        p += rl;
       }
     }
-    dense_sweep = touched_dests_.size() >= n_ / kDenseSweep;
+    dense_sweep = dense_round_ || touched_dests_.size() >= n_ / kDenseSweep;
+  } else if (dense_round_) {
+    // Dense-round fast path: Ctx::send maintained no histograms this round.
+    // Re-stream the headers sequentially (the PR2 shape) — at this density
+    // the streaming pass beats per-send scattered upkeep — and rebuild the
+    // ordered destination list with the O(n) sweep below.
+    for (const auto& out : outboxes_) {
+      const std::uint64_t* p = out.buf.get();
+      const std::uint64_t* const end = p + out.len;
+      while (p < end) {
+        const std::size_t rl = wire::record_words(p, trailered);
+        dest_count_[wire::dst(p)] += pack_one(rl);
+        p += rl;
+      }
+    }
+    dense_sweep = true;
   } else {
     std::size_t touched_total = 0;
     for (const auto& out : outboxes_) touched_total += out.touched.size();
@@ -598,17 +598,31 @@ void Network::deliver() {
   const auto cap = static_cast<std::size_t>(capacity_);
   ovf_dests_.clear();
   ovf_bitmap_.clear();
-  std::size_t accept_total = 0;
+  std::size_t accept_msgs = 0;    // accepted messages (stats, trace order)
+  std::size_t layout_words = 0;   // inbox arena extent, incl. overflow slack
   std::size_t bounce_total = 0;
   std::uint64_t max_recv = stats_.max_recv_in_round;
   for (const Slot d : touched_dests_) {
-    const std::size_t m = dest_count_[d];
+    const std::uint64_t dc = dest_count_[d];
+    const std::size_t m = pk_count(dc);
+    const std::size_t w = pk_words(dc);
     max_recv = std::max<std::uint64_t>(max_recv, m);
-    inbox_lo_[d] = accept_total;
-    inbox_cur_[d] = static_cast<std::uint32_t>(accept_total);
+    // kOvfBit guard: the word cursor lives in the low 31 bits of
+    // inbox_cur_ and bit 31 is the oversubscription flag. Reject the round
+    // BEFORE stamping any cursor whose arithmetic could reach the flag bit,
+    // so a per-destination count near the flag can never alias it — not
+    // even transiently mid-pass (placement advances the cursor by this
+    // destination's words at most, which the extent below already covers).
+    DGR_CHECK_MSG(layout_words + w < kOvfBit,
+                  "round too large for 32-bit delivery cursors ("
+                      << layout_words + w << " inbox words would reach the "
+                      << "kOvfBit oversubscription flag)");
+    inbox_lo_[d] = layout_words;
+    inbox_cur_[d] = static_cast<std::uint32_t>(layout_words);
     if (m <= cap) {
       inbox_len_[d] = static_cast<std::uint32_t>(m);
-      accept_total += m;
+      accept_msgs += m;
+      layout_words += w;
       continue;
     }
     DGR_CHECK_MSG(cfg_.overflow == OverflowPolicy::kBounce,
@@ -635,16 +649,17 @@ void Network::deliver() {
     ovf_dests_.push_back(d);
     inbox_cur_[d] |= kOvfBit;
     inbox_len_[d] = static_cast<std::uint32_t>(cap);
-    accept_total += cap;
+    accept_msgs += cap;
+    // The full pre-overflow word extent: accepted records pack at its
+    // front, the bounced records' words are slack the next round reclaims.
+    layout_words += w;
   }
   stats_.max_recv_in_round = max_recv;
-  // The per-destination cursors are 32-bit (bit 31 of an inbox cursor is
-  // the overflow flag); a round this large would corrupt them silently.
-  DGR_CHECK_MSG(accept_total < kOvfBit && bounce_total < kOvfBit,
+  // bounce_refs_ cursors are 32-bit message indices.
+  DGR_CHECK_MSG(bounce_total < kOvfBit,
                 "round too large for 32-bit delivery cursors ("
-                    << accept_total << " accepted, " << bounce_total
-                    << " bounced)");
-  if (fast) sent = accept_total + bounce_total;  // nothing was dropped
+                    << bounce_total << " bounced)");
+  if (fast) sent = accept_msgs + bounce_total;  // nothing was dropped
   stats_.messages_sent += sent;
   stats_.messages_dropped += dropped;
   // The bitmap buffer has its final size now; plant the per-destination
@@ -654,32 +669,18 @@ void Network::deliver() {
 
   if (bounce_cap_ < bounce_total)
     grow_discard(bounce_refs_, bounce_cap_, bounce_total, 256);
-  if (inbox_cap_ < accept_total) {
-    std::size_t meta_cap = inbox_cap_;  // grows in lockstep with the arena
-    grow_discard(inbox_arena_, inbox_cap_, accept_total, 1024);
-    grow_discard(inbox_meta_, meta_cap, accept_total, 1024);
-  }
+  if (inbox_cap_ < layout_words)
+    grow_discard(inbox_words_, inbox_cap_, layout_words, 2048);
   // In clique mode every node already knows every ID: skip the per-message
   // knowledge update (and its random access into know_) entirely.
   const bool learning = !is_clique();
-  Message* const inbox = inbox_arena_.get();
-  // Shared by both placement paths: record the per-message learn metadata
-  // (sender slot + the ID words' slots from the record trailer).
-  const auto fill_meta = [&](const std::uint64_t* rec, const Message& msg,
-                             std::uint32_t at, Slot src) {
-    InboxMeta& meta = inbox_meta_[at];
-    meta.src = src;
-    if (trailered && msg.id_mask) {
-      const std::uint64_t* tp = rec_trailer(rec);
-      for (std::size_t w = 0; w < msg.size; ++w) {
-        if (msg.id_mask & (1u << w)) meta.w[w] = static_cast<Slot>(*tp++);
-      }
-    }
-  };
+  std::uint64_t* const inbox = inbox_words_.get();
 
-  // Pass 3 — placement. Without a trace each payload is copied exactly once,
-  // from its outbox arena straight to its final inbox position, streaming
-  // sources in slot order; bounces are spilled as references and returned
+  // Pass 3 — placement. Without a trace each accepted record is copied
+  // exactly once, verbatim, from its outbox arena straight to its final
+  // dest-major inbox position, streaming sources in slot order — nothing is
+  // decoded; InboxView reads the records in place and the learn pass below
+  // consumes their trailers. Bounces are spilled as references and returned
   // dest-major below, the order Ctx::bounced() has always exposed. With a
   // trace attached, messages are reference-sorted per destination first so
   // trace events keep the seed engine's exact dest-major order.
@@ -689,33 +690,31 @@ void Network::deliver() {
       const std::uint64_t* const end = p + out.len;
       while (p < end) {
         const std::uint64_t* rec = p;
-        p += rec_words(p, trailered);
-        const Slot dst = rec_dst(rec);
+        const std::size_t rl = wire::record_words(p, trailered);
+        p += rl;
+        const Slot dst = wire::dst(rec);
         if (dst == kNoSlot) continue;
-        const Slot src = rec_src(rec);
         const std::uint32_t cur = inbox_cur_[dst];
         if (cur & kOvfBit) {
           if (*ovf_cursor_[dst]++ == 0) {
-            bounce_refs_[bounce_cursor_[dst]++] = {rec, src};
+            bounce_refs_[bounce_cursor_[dst]++] = {rec, wire::src(rec)};
             continue;
           }
         }
-        inbox_cur_[dst] = cur + 1;
-        const std::uint32_t at = cur & ~kOvfBit;
-        Message& msg = inbox[at];
-        decode(rec, ids_[src], msg);
-        fill_meta(rec, msg, at, src);
+        inbox_cur_[dst] = cur + static_cast<std::uint32_t>(rl);
+        std::uint64_t* q = inbox + (cur & ~kOvfBit);
+        for (std::size_t i = 0; i < rl; ++i) q[i] = rec[i];
       }
     }
     for (const Slot d : ovf_dests_) {
       const std::size_t lo = bounce_base_[d];
-      const std::size_t hi = lo + dest_count_[d] - cap;
+      const std::size_t hi = lo + pk_count(dest_count_[d]) - cap;
       for (std::size_t k = lo; k < hi; ++k) {
         const auto& r = bounce_refs_[k];
         if (bounced_[r.src].empty()) bounce_srcs_.push_back(r.src);
         Bounced& b = bounced_[r.src].emplace_back();
         b.dst = ids_[d];
-        decode(r.enc, ids_[r.src], b.msg);
+        wire::decode(r.enc, ids_[r.src], b.msg);
       }
     }
   } else {
@@ -724,7 +723,7 @@ void Network::deliver() {
     for (const Slot d : touched_dests_) {
       dest_off_[d] = total;
       dest_cursor_[d] = total;
-      total += dest_count_[d];
+      total += pk_count(dest_count_[d]);
     }
     arena_.resize(total);
     for (const auto& out : outboxes_) {
@@ -732,70 +731,75 @@ void Network::deliver() {
       const std::uint64_t* const end = p + out.len;
       while (p < end) {
         const std::uint64_t* rec = p;
-        p += rec_words(p, trailered);
-        const Slot dst = rec_dst(rec);
+        p += wire::record_words(p, trailered);
+        const Slot dst = wire::dst(rec);
         if (dst == kNoSlot) continue;
-        arena_[dest_cursor_[dst]++] = {rec, rec_src(rec)};
+        arena_[dest_cursor_[dst]++] = {rec, wire::src(rec)};
       }
     }
     // ...then per-destination delivery in arrival order.
     for (const Slot d : touched_dests_) {
       const std::size_t lo = dest_off_[d];
-      const std::size_t m = dest_count_[d];
+      const std::size_t m = pk_count(dest_count_[d]);
       const bool over = m > cap;
       std::uint32_t cur = inbox_cur_[d] & ~kOvfBit;
       for (std::size_t i = 0; i < m; ++i) {
         const auto [enc, src] = arena_[lo + i];
-        Message msg;
-        decode(enc, ids_[src], msg);
         const bool accept = !over || ovf_bitmap_[bitmap_off_[d] + i] != 0;
         if (trace_)
-          trace_->record({stats_.rounds, src, d, msg.tag,
+          trace_->record({stats_.rounds, src, d, wire::tag(enc),
                           accept ? MessageOutcome::kDelivered
                                  : MessageOutcome::kBounced});
         if (accept) {
-          fill_meta(enc, msg, cur, src);
-          inbox[cur++] = msg;
+          const std::size_t rl = wire::record_words(enc, trailered);
+          std::uint64_t* q = inbox + cur;
+          for (std::size_t w = 0; w < rl; ++w) q[w] = enc[w];
+          cur += static_cast<std::uint32_t>(rl);
         } else {
           if (bounced_[src].empty()) bounce_srcs_.push_back(src);
-          bounced_[src].push_back({ids_[d], msg});
+          Bounced& b = bounced_[src].emplace_back();
+          b.dst = ids_[d];
+          wire::decode(enc, ids_[src], b.msg);
         }
       }
       inbox_cur_[d] = cur;
     }
   }
-  stats_.messages_delivered += accept_total;
+  stats_.messages_delivered += accept_msgs;
   stats_.messages_bounced += bounce_total;
 
   // Knowledge post-pass, dest-major over the contiguous inbox arena:
   // delivery teaches the receiver the sender's ID plus every ID word in the
   // payload (the packet-header analogy from message.h). Running it here —
   // instead of inline during source-order placement — loads each receiver's
-  // knowledge table once per round rather than once per message, which at
-  // large n is the difference between streaming and DRAM-random learns.
-  // Knowledge updates are idempotent and commutative, so the reordering
-  // cannot change any observable state. Send-side checks guarantee every
-  // forwarded ID names a real node, so the find() cannot miss.
+  // knowledge table once per round rather than once per message in source
+  // order, which at large n is the difference between streaming and
+  // DRAM-random learns. Knowledge updates are idempotent and commutative,
+  // so the reordering cannot change any observable state. The batch runs
+  // straight over the records' contiguous ID-slot trailers
+  // (Knowledge::learn_trailer) — send-side checks resolved every forwarded
+  // ID's slot already, so the pass never touches the IdMap.
   if (learning) {
     for (const Slot d : touched_dests_) {
       Knowledge& k = know_[d];
-      const std::size_t lo = inbox_lo_[d];
-      const Message* msgs = inbox + lo;
-      const InboxMeta* metas = inbox_meta_.get() + lo;
+      const std::uint64_t* p = inbox + inbox_lo_[d];
       const std::uint32_t len = inbox_len_[d];
       for (std::uint32_t i = 0; i < len; ++i) {
-        k.learn_slot(metas[i].src);
-        const Message& m = msgs[i];
-        if (m.id_mask) {
-          for (std::size_t w = 0; w < m.size; ++w) {
-            if (m.id_mask & (1u << w)) {
-              const NodeId id = m.words[w];
-              if (k.hot_id_is(id)) continue;  // already learned
-              k.learn_slot(metas[i].w[w]);
-              k.set_hot(id, metas[i].w[w]);
-            }
-          }
+        k.learn_slot(wire::src(p));
+        const unsigned mask = wire::id_mask(p);
+        const std::size_t nw = wire::size(p);
+        std::size_t tw = 0;
+        if (mask) {
+          const std::uint64_t* tp = p + wire::kHeaderWords + nw;
+          tw = wire::trailer_words(static_cast<std::uint8_t>(mask));
+          k.learn_trailer(tp, tw);
+          // Refresh the (ID, slot) hot cache with the record's last ID word
+          // — the common re-verified case is "the ID I just received".
+          const auto last = static_cast<std::size_t>(std::bit_width(mask)) - 1;
+          k.set_hot(static_cast<NodeId>(p[wire::kHeaderWords + last]),
+                    static_cast<Slot>(tp[tw - 1]));
         }
+        p += wire::kHeaderWords + nw + tw;
       }
     }
   }
@@ -834,8 +838,38 @@ void Network::deliver() {
   } else {
     for (const Slot d : touched_dests_) dest_count_[d] = 0;
   }
+  // Next round's dense-fast-path prediction: this round's actual touched-
+  // destination density against the sweep threshold. (Deliberately NOT
+  // triggered by raw traffic: a hot-spot fan-in like the overflow bench
+  // moves n·cap/2 messages to 8 destinations, and there the per-worker
+  // histogram fold is 8 entries — far cheaper than re-streaming every
+  // record header.)
+  last_dense_ = touched_dests_.size() >= n_ / kDenseSweep;
   inbox_dests_.swap(touched_dests_);
   touched_dests_.clear();
+}
+
+std::span<const Message> Network::legacy_inbox(Slot s, Ctx::OutArena& out) {
+  // Cache key: (slot, round). A slot's body runs exactly once per round on
+  // one worker, so the worker-private scratch only ever serves one slot at
+  // a time and repeated inbox() calls within a body reuse the decode.
+  if (out.legacy_slot != s || out.legacy_round != stats_.rounds) {
+    out.legacy_slot = s;
+    out.legacy_round = stats_.rounds;
+    const std::uint32_t len = inbox_len_[s];
+    out.legacy_inbox.clear();
+    out.legacy_inbox.resize(len);
+    if (len != 0) {
+      const bool trailered = !is_clique();
+      const std::uint64_t* p = inbox_words_.get() + inbox_lo_[s];
+      for (std::uint32_t i = 0; i < len; ++i) {
+        wire::decode(p, ids_[wire::src(p)], out.legacy_inbox[i]);
+        p += wire::record_words(p, trailered);
+      }
+    }
+  }
+
+  return {out.legacy_inbox.data(), out.legacy_inbox.size()};
 }
 
 std::uint64_t Network::run_until(const std::function<bool()>& done,

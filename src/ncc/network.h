@@ -35,17 +35,32 @@
 //     variable-length records (a one-word message costs 24 bytes, not
 //     sizeof(Message)); arenas concatenate to global source-slot order,
 //     making the transcript identical for any thread count;
-//   - deliver() counting-sorts messages by destination and copies each
-//     payload exactly once, straight to its final position in a shared flat
-//     inbox arena that per-node inbox spans point into — no vector-of-
-//     vectors churn (with a Trace attached, a reference-sorting path
-//     reproduces the seed engine's exact event order for completed rounds;
-//     a strict-mode overflow now throws before any delivery events);
+//   - deliver() counting-sorts messages by destination and copies each wire
+//     record exactly once, verbatim, straight to its final position in a
+//     shared flat dest-major inbox arena of variable-length records — the
+//     receive side is zero-copy end to end: no 48B Message materialization,
+//     no per-message metadata sidecar. Ctx::inbox_view() hands bodies an
+//     InboxView whose MessageRef elements decode fields lazily from the
+//     records in place; Ctx::inbox() remains as a compat shim that decodes
+//     the slot's records into a per-worker Message scratch on first use
+//     (with a Trace attached, a reference-sorting path reproduces the seed
+//     engine's exact event order for completed rounds; a strict-mode
+//     overflow throws before any delivery events). The delivery-time learn
+//     pass runs dest-major over the records' contiguous ID-slot trailers
+//     (Knowledge::learn_trailer), never touching the IdMap;
 //   - every per-round sweep is list-driven: touched destinations, bounce
 //     sources, and the active frontier name exactly the entries to visit
 //     and re-zero, so a round costs O(traffic + frontier), not O(n) (near-
 //     dense rounds fall back to sequential sweeps, which are cheaper than
-//     scattering at that density);
+//     scattering at that density). Rounds predicted dense — the previous
+//     delivery touched at least 1/16th of all destinations — additionally
+//     run a dense-round fast path: Ctx::send skips the per-send histogram
+//     and first-touch upkeep entirely and deliver() rebuilds the counting-
+//     sort histogram with a PR2-style sequential re-stream of the record
+//     headers, recovering the all-dense workloads' list-upkeep tax. The
+//     mode is pure bookkeeping strategy: transcripts are bit-identical
+//     either way, and a misprediction only costs one round of the slower
+//     bookkeeping;
 //   - ID -> slot resolution is O(1) (IdMap) and knowledge is a slot-indexed
 //     sparse-to-dense hybrid (Knowledge), so the send path does no hashing
 //     of std::unordered containers and no binary search; Ctx::send is
@@ -83,6 +98,140 @@ struct Bounced {
   Message msg;
 };
 
+/// Lazily-decoding reference to one delivered message, backed directly by
+/// its wire record in the engine's inbox arena (see ncc::wire in message.h
+/// for the layout). Field accessors read straight from the record — nothing
+/// is materialized until materialize() is called — so iterating an inbox
+/// and switching on tag() costs two loads per message, not a 48B copy.
+/// Validity: like the spans Ctx::inbox() returns, a MessageRef aliases
+/// engine-owned memory that the next round's delivery repacks; do not hold
+/// one across the end of the round body (debug builds diagnose stale
+/// dereferences, see InboxView).
+class MessageRef {
+ public:
+  std::uint32_t tag() const { return wire::tag(rec_); }
+  std::uint8_t size() const { return wire::size(rec_); }
+  std::uint8_t id_mask() const { return wire::id_mask(rec_); }
+  /// Sender's ID (the engine stamps it from the routing word; it is never
+  /// transmitted on the wire).
+  NodeId src() const { return ids_[wire::src(rec_)]; }
+
+  std::uint64_t word(std::size_t i) const {
+    DGR_CHECK(i < size());
+    return rec_[wire::kHeaderWords + i];
+  }
+  /// Signed view of a word (positions may be sentinel -1).
+  std::int64_t sword(std::size_t i) const {
+    return static_cast<std::int64_t>(word(i));
+  }
+  NodeId id_word(std::size_t i) const {
+    DGR_CHECK(i < size() && (id_mask() & (1u << i)));
+    return static_cast<NodeId>(rec_[wire::kHeaderWords + i]);
+  }
+
+  /// Full decode into an owning Message (for code that stores or re-sends
+  /// delivered messages, e.g. a forwarding queue).
+  Message materialize() const {
+    Message m;
+    wire::decode(rec_, src(), m);
+    return m;
+  }
+
+ private:
+  friend class InboxView;
+  MessageRef(const std::uint64_t* rec, const NodeId* ids)
+      : rec_(rec), ids_(ids) {}
+  const std::uint64_t* rec_;
+  const NodeId* ids_;
+};
+
+/// Zero-copy view of one node's inbox for the current round: an input range
+/// of MessageRef over the node's contiguous slice of the wire-record inbox
+/// arena. Obtained from Ctx::inbox_view(); prefer it over the legacy
+/// Ctx::inbox() span, which decodes every record into a Message scratch.
+///
+/// Lifetime: the view aliases engine-owned arenas that the next round's
+/// delivery repacks, so it is only valid inside the round body that created
+/// it. Debug builds (NDEBUG not defined) stamp each view with the delivery
+/// generation and fail a DGR_CHECK with a clear diagnostic if a stale view
+/// is dereferenced after the round ends; release builds pay nothing.
+class InboxView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = MessageRef;
+    using difference_type = std::ptrdiff_t;
+
+    MessageRef operator*() const {
+#ifndef NDEBUG
+      DGR_CHECK_MSG(*live_gen_ == gen_,
+                    "stale InboxView dereferenced: the view was created in "
+                    "an earlier round and its arena has been repacked (views "
+                    "are only valid inside the round body that created them)");
+#endif
+      return MessageRef(p_, ids_);
+    }
+    iterator& operator++() {
+      p_ += wire::record_words(p_, trailered_);
+      --left_;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return left_ == o.left_; }
+    bool operator!=(const iterator& o) const { return left_ != o.left_; }
+
+   private:
+    friend class InboxView;
+    const std::uint64_t* p_ = nullptr;
+    const NodeId* ids_ = nullptr;
+    std::uint32_t left_ = 0;
+    bool trailered_ = false;
+#ifndef NDEBUG
+    const std::uint64_t* live_gen_ = nullptr;
+    std::uint64_t gen_ = 0;
+#endif
+  };
+
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  iterator begin() const {
+    iterator it;
+    it.p_ = base_;
+    it.ids_ = ids_;
+    it.left_ = len_;
+    it.trailered_ = trailered_;
+#ifndef NDEBUG
+    it.live_gen_ = live_gen_;
+    it.gen_ = gen_;
+    if (len_ != 0) (void)*it;  // surface a stale view at first touch
+#endif
+    return it;
+  }
+  iterator end() const { return iterator{}; }
+
+ private:
+  friend class Network;
+#ifndef NDEBUG
+  InboxView(const std::uint64_t* base, std::uint32_t len, const NodeId* ids,
+            bool trailered, const std::uint64_t* live_gen)
+      : base_(base), len_(len), ids_(ids), trailered_(trailered),
+        live_gen_(live_gen), gen_(*live_gen) {}
+#else
+  InboxView(const std::uint64_t* base, std::uint32_t len, const NodeId* ids,
+            bool trailered, const std::uint64_t* /*live_gen*/)
+      : base_(base), len_(len), ids_(ids), trailered_(trailered) {}
+#endif
+  const std::uint64_t* base_;
+  std::uint32_t len_;
+  const NodeId* ids_;
+  bool trailered_;
+#ifndef NDEBUG
+  const std::uint64_t* live_gen_;  // &Network::inbox_gen_
+  std::uint64_t gen_;              // generation at creation
+#endif
+};
+
 /// Per-node view handed to the round body. Only node-local information is
 /// reachable through it.
 class Ctx {
@@ -106,9 +255,27 @@ class Ctx {
   std::span<const NodeId> all_ids() const;
 
   /// Queue a message for delivery next round. Enforces knowledge + send cap.
-  void send(NodeId to, Message m);
+  /// Forced inline: the definition has grown past the compilers' inlining
+  /// budget, and an outlined call here means copying the 48-byte Message
+  /// through the stack once per message — measurably (~3x) slower on the
+  /// all-dense engine microbenches.
+#if defined(__GNUC__) || defined(__clang__)
+  [[gnu::always_inline]]
+#endif
+  inline void send(NodeId to, Message m);
 
-  /// Messages delivered to this node at the start of the current round.
+  /// Zero-copy view of the messages delivered to this node at the start of
+  /// the current round: MessageRefs decode fields lazily from the wire
+  /// records in place. Valid only inside this round body (see InboxView).
+  InboxView inbox_view() const;
+  /// Legacy accessor: the same messages, decoded into a per-worker Message
+  /// scratch on first call (compat shim; costs a full decode of the inbox).
+  /// Lifetime: the span is valid only within this slot's body invocation —
+  /// the scratch is reused as soon as another slot on the same worker calls
+  /// inbox() (single-threaded runs put every slot on one worker). That is
+  /// the same "do not hold across bodies" rule InboxView documents, only
+  /// without the debug diagnostic; code that needs messages later must copy
+  /// them. Prefer inbox_view() in new and hot code.
   std::span<const Message> inbox() const;
   /// This node's sends from the previous round that were bounced.
   std::span<const Bounced> bounced() const;
@@ -146,15 +313,19 @@ struct Ctx::OutArena {
   std::unique_ptr<std::uint64_t[]> buf;
   std::size_t len = 0;  // words used
   std::size_t cap = 0;  // words allocated
-  // Per-destination send counts, maintained by Ctx::send so the reliable-
-  // network fast path in deliver() never has to re-stream the records just
-  // to build its counting-sort histogram. Only entries named in `touched`
-  // are ever nonzero; deliver() folds and re-zeroes exactly those, so a
-  // round costs O(destinations actually sent to), not O(n).
-  // Maintained even on lossy networks (where deliver() rebuilds counts
-  // post-drop and ignores this): set_drop_probability is a live knob, and
-  // gating the upkeep would put a branch on the reliable send path.
-  std::vector<std::uint32_t> hist;
+  // Per-destination send accounting, maintained by Ctx::send so the
+  // reliable-network fast path in deliver() never has to re-stream the
+  // records just to build its counting-sort histogram. Packed per entry:
+  // message count in the low 32 bits, record words in the high 32 (the
+  // dest-major inbox arena is laid out in words, so deliver() needs both).
+  // Only entries named in `touched` are ever nonzero; deliver() folds and
+  // re-zeroes exactly those, so a round costs O(destinations actually sent
+  // to), not O(n). Maintained even on lossy networks (where deliver()
+  // rebuilds counts post-drop and ignores this): set_drop_probability is a
+  // live knob, and gating the upkeep would put a branch on the reliable
+  // send path. Rounds predicted dense skip the upkeep entirely
+  // (Network::dense_round_) and deliver() re-streams the headers instead.
+  std::vector<std::uint64_t> hist;
   // Destinations with hist[d] > 0, in first-send order (dedup by hist).
   std::vector<Slot> touched;
   // Slots whose body called Ctx::wake() this round. Ascending by slot: a
@@ -164,6 +335,13 @@ struct Ctx::OutArena {
   // Max per-node sends this worker observed this round (NetStats feed;
   // replaces the old O(n) per-round scan of a sends-per-slot array).
   int max_send = 0;
+  // Legacy Ctx::inbox() scratch: the calling slot's wire records decoded
+  // into Messages, cached per (slot, round). Worker-private, like the rest
+  // of the arena, so the span a body receives stays valid for the whole
+  // body invocation.
+  std::vector<Message> legacy_inbox;
+  Slot legacy_slot = kNoSlot;
+  std::uint64_t legacy_round = ~std::uint64_t{0};
 
   void clear() { len = 0; }
 
@@ -347,6 +525,15 @@ class Network {
   void run_slots(std::size_t lo, std::size_t hi, unsigned arena, void* body,
                  RoundThunk thunk);
   void deliver();
+  /// Compat path behind Ctx::inbox(): decode slot `s`'s wire records into
+  /// the worker arena's Message scratch (cached per slot and round).
+  std::span<const Message> legacy_inbox(Slot s, Ctx::OutArena& out);
+  InboxView make_inbox_view(Slot s) const {
+    const std::uint32_t len = inbox_len_[s];
+    const std::uint64_t* base =
+        len != 0 ? inbox_words_.get() + inbox_lo_[s] : nullptr;
+    return InboxView(base, len, ids_.data(), !is_clique(), &inbox_gen_);
+  }
   /// Cold path: re-runs the send checks in their documented order to throw
   /// the exact diagnostic; called only when the inlined fast checks failed.
   /// Takes the wire-encoded record so the hot path never spills the Message.
@@ -377,31 +564,38 @@ class Network {
     const std::uint64_t* enc;
     Slot src;
   };
-  std::vector<std::uint32_t> dest_count_;   // counting-sort histogram
+  // Counting-sort histogram, packed like OutArena::hist: message count in
+  // the low 32 bits, record words in the high 32.
+  std::vector<std::uint64_t> dest_count_;
   std::vector<Slot> touched_dests_;         // dests with dest_count_ > 0
   std::vector<std::size_t> dest_off_;       // traced-path offsets, by dest
   std::vector<std::size_t> dest_cursor_;    // scatter cursors
   std::vector<EncodedRef> arena_;           // traced-path reference sort
-  std::unique_ptr<Message[]> inbox_arena_;  // accepted messages, dest-major
-  /// Per accepted message (parallel to inbox_arena_): the sender's slot and
-  /// the slot of every ID word (copied from the wire-record trailer).
-  /// Delivery-time knowledge updates run as a dest-major post-pass over the
-  /// inbox arena — each receiver's knowledge table is loaded once per round
-  /// instead of once per message in source order — and with the slots at
-  /// hand the pass never touches the IdMap.
-  struct InboxMeta {
-    Slot src;
-    std::array<Slot, kMaxWords> w;  // only id_mask positions are valid
-  };
-  std::unique_ptr<InboxMeta[]> inbox_meta_;
-  std::size_t inbox_cap_ = 0;
-  std::vector<std::size_t> inbox_lo_;       // per-node inbox arena offset
-  std::vector<std::uint32_t> inbox_len_;    // per-node inbox length
+  /// The inbox arena: accepted wire records copied verbatim, dest-major —
+  /// each destination's records sit contiguously in arrival order, at
+  /// variable stride (wire::record_words). InboxView iterates it in place;
+  /// the legacy Ctx::inbox() shim decodes from it on demand. Overflowing
+  /// destinations get their full pre-overflow word extent and pack the
+  /// accepted records at its front (the slack is never read).
+  std::unique_ptr<std::uint64_t[]> inbox_words_;
+  std::size_t inbox_cap_ = 0;               // words allocated
+  std::vector<std::size_t> inbox_lo_;       // per-node arena word offset
+  std::vector<std::uint32_t> inbox_len_;    // per-node accepted messages
   std::vector<Slot> inbox_dests_;  // slots with inbox_len_ > 0 (last round)
   std::vector<Slot> bounce_srcs_;  // slots with bounces (last round)
-  // Per-node inbox write cursors; bit 31 flags an oversubscribed
-  // destination so the placement pass needs no second table lookup.
+  // Per-node inbox write cursors, in words; bit 31 (kOvfBit) flags an
+  // oversubscribed destination so the placement pass needs no second table
+  // lookup. deliver() pass 2 guards the word extents against the flag bit
+  // before stamping any cursor, so count arithmetic can never alias it.
   std::vector<std::uint32_t> inbox_cur_;
+  // Delivery generation; bumped every deliver() when the inbox arena is
+  // repacked. Debug InboxViews stamp it to diagnose stale dereferences.
+  std::uint64_t inbox_gen_ = 0;
+  // Dense-round fast path (see the file comment): when the previous
+  // delivery touched >= n/16 destinations, the next round skips send-side
+  // histogram/first-touch upkeep and deliver() re-streams the headers.
+  bool dense_round_ = false;
+  bool last_dense_ = false;
   // Active-set scheduling state. active_ is the next round_active frontier
   // (sorted + deduped once flushed); run_list_ is the round-owned copy the
   // workers read; round_list_ aliases it while a sparse round executes.
@@ -471,6 +665,16 @@ inline void Ctx::send(NodeId to, Message m) {
     DGR_CHECK_MSG(false, "message size " << static_cast<int>(m.size)
                                          << " exceeds kMaxWords");
   }
+  // Same input class for id_mask: push_id can only set bits below size, so
+  // a bit at or above size is a direct field write. The trailer is sized by
+  // popcount of the whole mask but the KT0 checks and the trailer fill loop
+  // only cover bits below size — an out-of-range bit would ship a trailer
+  // word of uninitialized arena memory straight into the delivery-side
+  // learn pass. Reject before encoding.
+  if ((m.id_mask >> m.size) != 0) [[unlikely]] {
+    DGR_CHECK_MSG(false, "id_mask bit set at or above message size "
+                             << static_cast<int>(m.size));
+  }
   // Wire-encode speculatively, before validating: this way the cold failure
   // path only needs the record pointer, the Message never has its address
   // taken, and the compiler keeps it in registers. A failed check pops the
@@ -483,21 +687,15 @@ inline void Ctx::send(NodeId to, Message m) {
   // slot anyway, so on learning networks the record carries those slots
   // after the payload and the delivery-side learn pass never touches the
   // IdMap. Clique networks skip learning, so their records stay trailerless
-  // (rec_words mirrors this split).
+  // (wire::record_words mirrors this split).
   const std::size_t nw = m.size;
   const bool trailered = m.id_mask != 0 && !net_.is_clique();
-  const std::size_t tw =
-      trailered ? static_cast<std::size_t>(
-                      std::popcount(static_cast<unsigned>(m.id_mask)))
-                : 0;
-  const std::size_t rec_len = 2 + nw + tw;
+  const std::size_t tw = trailered ? wire::trailer_words(m.id_mask) : 0;
+  const std::size_t rec_len = wire::kHeaderWords + nw + tw;
   std::uint64_t* p = out_->append(rec_len);
-  p[0] = static_cast<std::uint64_t>(slot_) |
-         (static_cast<std::uint64_t>(dst) << 32);
-  p[1] = static_cast<std::uint64_t>(m.tag) |
-         (static_cast<std::uint64_t>(m.size) << 32) |
-         (static_cast<std::uint64_t>(m.id_mask) << 40);
-  for (std::size_t w = 0; w < nw; ++w) p[2 + w] = m.words[w];
+  p[0] = wire::routing_word(slot_, dst);
+  p[1] = wire::header_word(m);
+  for (std::size_t w = 0; w < nw; ++w) p[wire::kHeaderWords + w] = m.words[w];
   // Model rules 1 (sender knows destination) and 2 (send budget); see
   // Network::send_fail for the individual diagnostics.
   const Knowledge& kn = net_.know_[slot_];
@@ -513,7 +711,7 @@ inline void Ctx::send(NodeId to, Message m) {
   // knows_all short-circuit — no resolution, no probe.
   if (m.id_mask) {
     if (trailered) {
-      std::uint64_t* tp = p + 2 + nw;
+      std::uint64_t* tp = p + wire::kHeaderWords + nw;
       for (std::size_t w = 0; w < m.size; ++w) {
         if ((m.id_mask & (1u << w)) == 0) continue;
         const Slot ws = net_.known_slot_of(slot_, m.words[w]);
@@ -532,13 +730,23 @@ inline void Ctx::send(NodeId to, Message m) {
       }
     }
   }
-  if (out_->hist[dst]++ == 0) out_->touched.push_back(dst);
+  // Dense-round fast path: deliver() re-streams the record headers
+  // sequentially, so the per-send histogram and first-touch upkeep would be
+  // dead work — skip them behind one predictable branch.
+  if (!net_.dense_round_) {
+    std::uint64_t& h = out_->hist[dst];
+    if (h == 0) out_->touched.push_back(dst);
+    h += std::uint64_t{1} | (static_cast<std::uint64_t>(rec_len) << 32);
+  }
   ++sends_;
 }
 
+inline InboxView Ctx::inbox_view() const {
+  return net_.make_inbox_view(slot_);
+}
+
 inline std::span<const Message> Ctx::inbox() const {
-  return {net_.inbox_arena_.get() + net_.inbox_lo_[slot_],
-          net_.inbox_len_[slot_]};
+  return net_.legacy_inbox(slot_, *out_);
 }
 
 inline std::span<const Bounced> Ctx::bounced() const {

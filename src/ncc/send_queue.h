@@ -32,6 +32,12 @@ class SendQueue {
       : has_filter_(true), tag_filter_(tag_filter) {}
 
   void push(NodeId dst, Message m) { queue_.push_back({dst, std::move(m)}); }
+  /// Forwarding ingest straight from an inbox view: the queue owns its
+  /// backlog across rounds, so this is the one place a zero-copy MessageRef
+  /// must be materialized (the view's arena is repacked next round).
+  void push(NodeId dst, const MessageRef& m) {
+    queue_.push_back({dst, m.materialize()});
+  }
 
   /// Re-ingest bounces, then send while budget remains. Call at most once
   /// per node per round.

@@ -69,9 +69,9 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
       // Ingest announcements for level k-1 (sent last round).
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag == kTagGrandPred) lpred[k - 1][s] = m.id_word(0);
-        else if (m.tag == kTagGrandSucc) lsucc[k - 1][s] = m.id_word(0);
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() == kTagGrandPred) lpred[k - 1][s] = m.id_word(0);
+        else if (m.tag() == kTagGrandSucc) lsucc[k - 1][s] = m.id_word(0);
       }
       if (k > levels) return;  // drain-only round
       // Announce grand links for level k.
@@ -99,10 +99,10 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
 
   auto ingest_accepts = [&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagAccept) continue;
-      if (m.src == invited_left[s]) tree.nodes[s].left = m.src;
-      else if (m.src == invited_right[s]) tree.nodes[s].right = m.src;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagAccept) continue;
+      if (m.src() == invited_left[s]) tree.nodes[s].left = m.src();
+      else if (m.src() == invited_right[s]) tree.nodes[s].right = m.src();
     }
   };
 
@@ -140,9 +140,9 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
         return;
       }
       NodeId chosen = kNoNode;
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagInviteLeft && m.tag != kTagInviteRight) continue;
-        if (chosen == kNoNode || m.src < chosen) chosen = m.src;
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() != kTagInviteLeft && m.tag() != kTagInviteRight) continue;
+        if (chosen == kNoNode || m.src() < chosen) chosen = m.src();
       }
       if (chosen == kNoNode) return;
       tree.nodes[s].in_tree = true;
@@ -221,12 +221,12 @@ PrefixSums tree_prefix_sum(ncc::Network& net, const TreeOverlay& tree,
     const Slot s = ctx.slot();
     if (!tree.member(s) || sent_up[s]) return;
     const auto& nd = tree.nodes[s];
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagUp) continue;
-      if (m.src == nd.left) {
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagUp) continue;
+      if (m.src() == nd.left) {
         left_sum[s] = m.word(0);
         left_done[s] = 1;
-      } else if (m.src == nd.right) {
+      } else if (m.src() == nd.right) {
         right_sum[s] = m.word(0);
         right_done[s] = 1;
       }
@@ -252,8 +252,8 @@ PrefixSums tree_prefix_sum(ncc::Network& net, const TreeOverlay& tree,
     if (s == tree.root) {
       have = true;
     } else {
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag == kTagDown && m.src == nd.parent) {
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() == kTagDown && m.src() == nd.parent) {
           base = m.word(0);
           have = true;
         }
@@ -324,10 +324,10 @@ TreeOverlay build_warmup_tree(ncc::Network& net, const PathOverlay& path) {
     net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!active[s]) return;
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagWarmNoN) continue;
-        if (m.src == cur_pred[s]) gp[s] = static_cast<NodeId>(m.word(0));
-        else if (m.src == cur_succ[s]) gs[s] = static_cast<NodeId>(m.word(1));
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() != kTagWarmNoN) continue;
+        if (m.src() == cur_pred[s]) gp[s] = static_cast<NodeId>(m.word(0));
+        else if (m.src() == cur_succ[s]) gs[s] = static_cast<NodeId>(m.word(1));
       }
       if (cur_pred[s] == kNoNode) {
         // Head: left child = successor, right child = grand-successor.
@@ -350,9 +350,9 @@ TreeOverlay build_warmup_tree(ncc::Network& net, const PathOverlay& path) {
     net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!active[s]) return;
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag == kTagWarmLeft || m.tag == kTagWarmRight) {
-          tree.nodes[s].parent = m.src;
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() == kTagWarmLeft || m.tag() == kTagWarmRight) {
+          tree.nodes[s].parent = m.src();
           cur_pred[s] = kNoNode;
         }
       }

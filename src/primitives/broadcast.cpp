@@ -51,8 +51,8 @@ std::vector<std::uint64_t> broadcast_from_root(ncc::Network& net,
       forward(ctx, value);
       return;
     }
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagBcast || m.src != tree.nodes[s].parent) continue;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagBcast || m.src() != tree.nodes[s].parent) continue;
       out[s] = m.word(0);
       got[s] = 1;
       forward(ctx, out[s]);
@@ -105,8 +105,8 @@ std::vector<std::uint64_t> broadcast_from_leader(ncc::Network& net,
         have = true;
         leader_sent = true;
       }
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag == kTagLeaderUp) {
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() == kTagLeaderUp) {
           v = m.word(0);
           have = true;
         }
@@ -157,11 +157,11 @@ ArgmaxResult aggregate_argmax(ncc::Network& net, const TreeOverlay& tree,
     const Slot s = ctx.slot();
     if (!tree.member(s) || sent[s]) return;
     const auto& nd = tree.nodes[s];
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagArgmax) continue;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagArgmax) continue;
       const Best cand{m.word(0), m.id_word(1)};
-      if (m.src == nd.left) left_done[s] = 1;
-      else if (m.src == nd.right) right_done[s] = 1;
+      if (m.src() == nd.left) left_done[s] = 1;
+      else if (m.src() == nd.right) right_done[s] = 1;
       else continue;
       if (better(cand, best[s])) best[s] = cand;
     }

@@ -148,12 +148,12 @@ std::uint64_t aggregate_to_root(ncc::Network& net, const TreeOverlay& tree,
     const Slot s = ctx.slot();
     if (!tree.member(s) || sent[s]) return;
     const auto& nd = tree.nodes[s];
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != detail::kTagAgg) continue;
-      if (m.src == nd.left) {
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != detail::kTagAgg) continue;
+      if (m.src() == nd.left) {
         partial[s] = f(partial[s], m.word(0));
         left_done[s] = 1;
-      } else if (m.src == nd.right) {
+      } else if (m.src() == nd.right) {
         partial[s] = f(partial[s], m.word(0));
         right_done[s] = 1;
       }

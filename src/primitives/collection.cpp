@@ -49,8 +49,8 @@ std::vector<std::uint64_t> global_collect(
   net.run_active([&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
     if (s == leader) {
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagCollect) continue;
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() != kTagCollect) continue;
         collected.push_back(m.word(0));
       }
     }
@@ -87,9 +87,9 @@ std::uint64_t direct_exchange(ncc::Network& net,
   }
   return net.run_active([&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagDirect) continue;
-      on_deliver(s, m.src, static_cast<std::uint32_t>(m.word(1)), m.word(0));
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagDirect) continue;
+      on_deliver(s, m.src(), static_cast<std::uint32_t>(m.word(1)), m.word(0));
     }
     queues[s].pump(ctx);
     if (!queues[s].idle()) ctx.wake();

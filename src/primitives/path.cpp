@@ -26,8 +26,8 @@ PathOverlay undirect_initial_path(ncc::Network& net) {
   });
   // Round 2 (processing only): learn the predecessor from the inbox.
   net.round([&](ncc::Ctx& ctx) {
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag == kTagUndirect) path.pred[ctx.slot()] = m.src;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() == kTagUndirect) path.pred[ctx.slot()] = m.src();
     }
   });
   return path;

@@ -100,13 +100,13 @@ std::uint64_t range_multicast(ncc::Network& net, const PathOverlay& path,
     if (net.stats().rounds == start) {
       for (const auto& t : tasks[s]) resolve(ctx, t.lo, t.hi, t);
     }
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagRangeToken) continue;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagRangeToken) continue;
       RangeCastTask t;
       t.lo = m.sword(0);
       t.hi = m.sword(1);
       t.payload = m.word(2);
-      t.payload_is_id = (m.id_mask & (1u << 2)) != 0;
+      t.payload_is_id = (m.id_mask() & (1u << 2)) != 0;
       t.user_tag = static_cast<std::uint32_t>(m.word(3));
       resolve(ctx, t.lo, t.hi, t);
     }

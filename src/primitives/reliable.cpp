@@ -79,18 +79,18 @@ ReliableResult reliable_exchange_impl(
       const std::uint64_t now = ctx.round();
 
       // Ingest: data -> (dedupe, deliver once, queue ack); acks -> settle.
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag == kTagData) {
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() == kTagData) {
           const std::uint64_t seq = m.word(2);
           const std::uint64_t key =
-              (static_cast<std::uint64_t>(net.slot_of(m.src)) << 32) | seq;
+              (static_cast<std::uint64_t>(net.slot_of(m.src())) << 32) | seq;
           if (rcv.seen.insert(key).second) {
-            on_deliver(s, m.src, static_cast<std::uint32_t>(m.word(1)),
+            on_deliver(s, m.src(), static_cast<std::uint32_t>(m.word(1)),
                        m.word(0));
           }
           // Always (re-)ack — the previous ack may have been lost.
-          rcv.acks_to_send.emplace_back(m.src, seq);
-        } else if (m.tag == kTagAck) {
+          rcv.acks_to_send.emplace_back(m.src(), seq);
+        } else if (m.tag() == kTagAck) {
           if (snd.unacked.erase(m.word(0)) > 0) acked_total.fetch_add(1);
         }
       }

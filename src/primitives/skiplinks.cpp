@@ -45,9 +45,9 @@ SkipOverlay build_skiplinks(ncc::Network& net, const PathOverlay& path) {
     net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag == kTagSkipFwd) skip.fwd[k - 1][s] = m.id_word(0);
-        else if (m.tag == kTagSkipBwd) skip.bwd[k - 1][s] = m.id_word(0);
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() == kTagSkipFwd) skip.fwd[k - 1][s] = m.id_word(0);
+        else if (m.tag() == kTagSkipBwd) skip.bwd[k - 1][s] = m.id_word(0);
       }
       if (k >= levels) return;  // final iteration only drains
       const NodeId ahead = skip.fwd[k - 1][s];

@@ -93,8 +93,8 @@ SortResult distributed_sort(ncc::Network& net, const PathOverlay& path,
   std::vector<std::uint8_t> pending_role(n, 0);
   auto ingest = [&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagSortRec) continue;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagSortRec) continue;
       const Record other{m.word(0), m.id_word(1)};
       if (pending_role[s] == 1) {
         if (first_of(other, rec[s])) rec[s] = other;
@@ -169,11 +169,11 @@ void finish_rewire(ncc::Network& net, const PathOverlay& path,
   net.round_active([&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
     if (!path.member(s)) return;
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagNeighRec) continue;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagNeighRec) continue;
       const Record r{m.word(0), m.id_word(1)};
-      if (m.src == path.pred[s]) nb_pred[s] = r;
-      else if (m.src == path.succ[s]) nb_succ[s] = r;
+      if (m.src() == path.pred[s]) nb_pred[s] = r;
+      else if (m.src() == path.succ[s]) nb_succ[s] = r;
     }
     // Tell the owner of my record its rank and sorted-path neighbours.
     const auto rank = static_cast<std::uint64_t>(path.pos[s]);
@@ -197,8 +197,8 @@ void finish_rewire(ncc::Network& net, const PathOverlay& path,
   net.round_active([&](ncc::Ctx& ctx) {
     const Slot s = ctx.slot();
     if (!path.member(s)) return;
-    for (const auto& m : ctx.inbox()) {
-      if (m.tag != kTagNewPos) continue;
+    for (const auto m : ctx.inbox_view()) {
+      if (m.tag() != kTagNewPos) continue;
       out.path.pos[s] = static_cast<Position>(m.word(0));
       const std::uint64_t flags = m.word(3);
       out.path.pred[s] = (flags & 1) ? m.id_word(1) : kNoNode;
@@ -256,8 +256,8 @@ SortResult transposition_sort(ncc::Network& net, const PathOverlay& path,
     net.round_active([&](ncc::Ctx& ctx) {
       const Slot s = ctx.slot();
       if (!path.member(s)) return;
-      for (const auto& m : ctx.inbox()) {
-        if (m.tag != kTagSortRec) continue;
+      for (const auto m : ctx.inbox_view()) {
+        if (m.tag() != kTagSortRec) continue;
         const Record other{m.word(0), m.id_word(1)};
         const bool other_first = first_of(other, rec[s]);
         if ((pending_role[s] == 1 && other_first) ||

@@ -289,6 +289,33 @@ TEST(EngineDeterminism, CorruptMessageSizeRejected) {
   EXPECT_EQ(net.stats().messages_sent, 0u);
 }
 
+// Same input class for id_mask: a bit at or above size (only possible by
+// direct field writes — push_id can't produce it) would make the trailer
+// sizing disagree with the trailer fill and ship an uninitialized trailer
+// word into the delivery learn pass. Must be rejected before encoding, on
+// learning and clique networks alike.
+TEST(EngineDeterminism, CorruptIdMaskBeyondSizeRejected) {
+  auto net0 = testing::make_ncc0(4, 34);
+  const Slot head = net0.path_order().front();
+  const NodeId succ = net0.id_of(net0.path_order()[1]);
+  net0.round([&](Ctx& ctx) {
+    if (ctx.slot() != head) return;
+    ncc::Message m = make_msg(3).push(7);  // size 1
+    m.id_mask = 0b10;  // flags words[1], which is not part of the payload
+    EXPECT_THROW(ctx.send(succ, m), CheckError);
+  });
+  EXPECT_EQ(net0.stats().messages_sent, 0u);
+
+  auto net1 = testing::make_ncc1(4, 35);
+  net1.round([&](Ctx& ctx) {
+    if (ctx.slot() != 0) return;
+    ncc::Message m = make_msg(3);  // size 0
+    m.id_mask = 0b1;
+    EXPECT_THROW(ctx.send(net1.id_of(1), m), CheckError);
+  });
+  EXPECT_EQ(net1.stats().messages_sent, 0u);
+}
+
 // Active-set scheduling: a frontier-driven workload — seeded by a referee
 // wake, spread by receipt, sustained by self-wakes and bounce retries, with
 // link loss and mid-run crashes — must produce a bit-for-bit identical
@@ -368,6 +395,75 @@ TEST(EngineDeterminism, ActiveWaveTranscriptInvariantAcrossSchedulers) {
   EXPECT_GT(ref.stats().messages_dropped, 0u);
   EXPECT_GT(ref.stats().messages_bounced, 0u);
   EXPECT_GT(ref.stats().messages_delivered, 0u);
+}
+
+// The dense-round fast path (deliver() re-streams record headers instead of
+// folding send-side histograms once touched density crosses the 1/16 sweep
+// threshold) is predicted from the previous round's density, so a workload
+// that oscillates between all-dense floods and single-sender trickles
+// crosses the mode boundary in both directions — including rounds where the
+// prediction is wrong. The mode is bookkeeping strategy only: transcripts
+// must stay bit-identical across thread counts, the traced compat path, and
+// a lossy variant (which exercises the non-fast streaming pass under a
+// dense prediction).
+RunFingerprint run_density_oscillation(unsigned threads, bool traced,
+                                       double drop) {
+  constexpr std::size_t kN = 192;
+  ncc::Config cfg;
+  cfg.seed = 6060;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = threads;
+  cfg.drop_probability = drop;
+  ncc::Network net(kN, cfg);
+  ncc::Trace trace;
+  if (traced) net.set_trace(&trace);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(kN, 0);
+  fp.bounce_digest.assign(kN, 0);
+
+  for (int r = 0; r < 24; ++r) {
+    net.round([&](Ctx& ctx) {
+      auto& in = fp.inbox_digest[ctx.slot()];
+      for (const auto m : ctx.inbox_view()) in = hash_mix(in, m.src(), m.word(0));
+      auto& bo = fp.bounce_digest[ctx.slot()];
+      for (const auto& b : ctx.bounced()) bo = hash_mix(bo, b.dst, b.msg.tag);
+      const auto ids = ctx.all_ids();
+      // 4-round cycle: two flood rounds (dense), two trickle rounds where
+      // only slot 0 sends one message (sparse) — each boundary runs one
+      // round under a stale density prediction.
+      if (r % 4 < 2) {
+        const int sends = ctx.capacity() / 2;
+        for (int i = 0; i < sends; ++i) {
+          const std::size_t pick = ctx.rng().chance(0.2)
+                                       ? ctx.rng().below(3)
+                                       : ctx.rng().below(ids.size());
+          ctx.send(ids[pick], make_msg(11).push(ctx.rng().below(1u << 18)));
+        }
+      } else if (ctx.slot() == 0) {
+        ctx.send(ids[ctx.rng().below(ids.size())], make_msg(12).push(r));
+      }
+    });
+  }
+
+  fp.net = testing::net_fingerprint(net);
+  return fp;
+}
+
+TEST(EngineDeterminism, DenseFastPathTranscriptInvariant) {
+  const RunFingerprint ref = run_density_oscillation(1, false, 0.0);
+  EXPECT_TRUE(ref == run_density_oscillation(4, false, 0.0));
+  EXPECT_TRUE(ref == run_density_oscillation(8, false, 0.0));
+  // Traced compat path: delivery switches to the reference sort while the
+  // dense prediction keeps flipping.
+  EXPECT_TRUE(ref == run_density_oscillation(1, true, 0.0));
+  // The flood rounds genuinely oversubscribed the hot set.
+  EXPECT_GT(ref.stats().messages_bounced, 0u);
+
+  const RunFingerprint lossy = run_density_oscillation(1, false, 0.15);
+  EXPECT_TRUE(lossy == run_density_oscillation(8, false, 0.15));
+  EXPECT_TRUE(lossy == run_density_oscillation(8, true, 0.15));
+  EXPECT_GT(lossy.stats().messages_dropped, 0u);
 }
 
 TEST(EngineDeterminism, CrashedCountIsIncrementalAndIdempotent) {

@@ -1,0 +1,153 @@
+// The zero-copy inbox API: InboxView / MessageRef semantics, equivalence
+// with the legacy Ctx::inbox() span (the compat shim), and the debug-mode
+// stale-view diagnostic (a view aliases engine-owned arenas that the next
+// round repacks; dereferencing one after its round must fail loudly in
+// debug builds instead of silently reading repacked memory).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ncc/message.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+using ncc::Ctx;
+using ncc::InboxView;
+using ncc::make_msg;
+using ncc::NodeId;
+using ncc::Slot;
+
+// Random mixed traffic (all sizes, mixed id masks, some oversubscription):
+// for every slot and round, the view and the legacy span must agree on
+// every field of every message, in the same order.
+TEST(InboxView, MatchesLegacyInboxFieldForField) {
+  constexpr std::size_t kN = 64;
+  ncc::Config cfg;
+  cfg.seed = 11;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  ncc::Network net(kN, cfg);
+  std::uint64_t messages_checked = 0;
+  for (int r = 0; r < 8; ++r) {
+    net.round([&](Ctx& ctx) {
+      const auto view = ctx.inbox_view();
+      const auto legacy = ctx.inbox();
+      ASSERT_EQ(view.size(), legacy.size());
+      ASSERT_EQ(view.empty(), legacy.empty());
+      std::size_t i = 0;
+      for (const auto m : view) {
+        const ncc::Message& ref = legacy[i++];
+        ASSERT_EQ(m.tag(), ref.tag);
+        ASSERT_EQ(m.size(), ref.size);
+        ASSERT_EQ(m.id_mask(), ref.id_mask);
+        ASSERT_EQ(m.src(), ref.src);
+        for (std::size_t w = 0; w < ref.size; ++w) {
+          ASSERT_EQ(m.word(w), ref.word(w));
+          ASSERT_EQ(m.sword(w), ref.sword(w));
+        }
+        const ncc::Message mat = m.materialize();
+        ASSERT_EQ(mat.tag, ref.tag);
+        ASSERT_EQ(mat.src, ref.src);
+        ++messages_checked;
+      }
+      ASSERT_EQ(i, legacy.size());
+
+      // Traffic for next round: variable sizes and id masks, with a hot
+      // destination so the overflow/bounce layout is exercised too.
+      const auto ids = ctx.all_ids();
+      const int sends = 1 + static_cast<int>(ctx.rng().below(4));
+      for (int k = 0; k < sends; ++k) {
+        const std::size_t pick = ctx.rng().chance(0.3)
+                                     ? 0
+                                     : ctx.rng().below(ids.size());
+        auto m = make_msg(static_cast<std::uint32_t>(ctx.rng().below(1000)));
+        const auto words = ctx.rng().below(ncc::kMaxWords + 1);
+        for (std::uint64_t w = 0; w < words; ++w) {
+          if (ctx.rng().chance(0.5)) m.push_id(ids[ctx.rng().below(kN)]);
+          else m.push(ctx.rng().below(1u << 30));
+        }
+        ctx.send(ids[pick], m);
+      }
+    });
+  }
+  EXPECT_GT(messages_checked, 100u);
+}
+
+// The view must also agree on a learning (NCC0) network, where records
+// carry ID-slot trailers that the iterator's stride must step over.
+TEST(InboxView, MatchesLegacyInboxOnLearningNetwork) {
+  auto net = testing::make_ncc0(32, 5);
+  std::uint64_t checked = 0;
+  for (int r = 0; r < 6; ++r) {
+    net.round([&](Ctx& ctx) {
+      const auto legacy = ctx.inbox();
+      std::size_t i = 0;
+      for (const auto m : ctx.inbox_view()) {
+        const ncc::Message& ref = legacy[i++];
+        ASSERT_EQ(m.tag(), ref.tag);
+        ASSERT_EQ(m.id_mask(), ref.id_mask);
+        ASSERT_EQ(m.src(), ref.src);
+        for (std::size_t w = 0; w < ref.size; ++w)
+          ASSERT_EQ(m.word(w), ref.word(w));
+        ++checked;
+      }
+      // Forward my successor's ID back to it (it knows itself already) and
+      // onward: mixed id-word + plain-word records with trailers.
+      const NodeId succ = ctx.initial_successor();
+      if (succ != ncc::kNoNode) {
+        auto m = make_msg(7).push_id(succ).push(ctx.slot());
+        ctx.send(succ, m);
+      }
+    });
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(InboxView, EmptyInboxYieldsEmptyView) {
+  auto net = testing::make_ncc1(4, 9);
+  bool checked = false;
+  net.round([&](Ctx& ctx) {
+    const auto view = ctx.inbox_view();
+    EXPECT_EQ(view.size(), 0u);
+    EXPECT_TRUE(view.empty());
+    EXPECT_TRUE(view.begin() == view.end());
+    checked = true;
+  });
+  EXPECT_TRUE(checked);
+}
+
+#ifndef NDEBUG
+// Debug builds stamp views with the delivery generation: holding a view
+// across the end of its round and dereferencing it must fail a DGR_CHECK
+// with the stale-view diagnostic instead of reading repacked memory.
+TEST(InboxView, StaleViewDereferenceFiresDiagnostic) {
+  auto net = testing::make_ncc1(8, 13);
+  const NodeId dst = net.id_of(1);
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() == 0) ctx.send(dst, make_msg(3).push(42));
+  });
+  std::optional<InboxView> leaked;
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() != 1) return;
+    leaked = ctx.inbox_view();
+    // In-round use is fine.
+    EXPECT_EQ((*leaked->begin()).tag(), 3u);
+  });
+  ASSERT_TRUE(leaked.has_value());
+  // The round ended and the next delivery repacked the arena: the stale
+  // view must now refuse dereference (begin() surfaces it immediately).
+  net.round([](Ctx&) {});
+  EXPECT_THROW((void)*leaked->begin(), CheckError);
+}
+#else
+TEST(InboxView, StaleViewDereferenceFiresDiagnostic) {
+  GTEST_SKIP() << "stale-view stamps are compiled out in NDEBUG builds";
+}
+#endif
+
+}  // namespace
+}  // namespace dgr
