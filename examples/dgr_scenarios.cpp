@@ -1,0 +1,159 @@
+// dgr_scenarios — the §8 robustness harness CLI.
+//
+//   dgr_scenarios list
+//   dgr_scenarios run [--scenario=a,b,...] [--algos=implicit,tree,...]
+//                     [--n=32,64,...] [--threads=N] [--seed=N] [--dense]
+//                     [--json=path] [--csv=path] [--no-intervals] [--quiet]
+//
+// `run` executes the named scenarios (default: the whole built-in library)
+// across the selected realization algorithms and n sweep, validates every
+// completed output against realization/validate, prints one summary table
+// per scenario, and optionally writes the deterministic JSON/CSV report
+// (same seed => byte-identical file at any --threads and with/without
+// --dense). Exit code 0 iff every run validated.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/library.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage() {
+  std::cerr
+      << "usage: dgr_scenarios list\n"
+         "       dgr_scenarios run [--scenario=a,b,...] [--algos=csv]\n"
+         "                         [--n=csv] [--threads=N] [--seed=N]\n"
+         "                         [--dense] [--json=path] [--csv=path]\n"
+         "                         [--no-intervals] [--quiet]\n";
+  return 2;
+}
+
+int list_scenarios() {
+  for (const auto& s : dgr::scenario::builtin_scenarios()) {
+    std::cout << s.name << " — " << s.description << "\n";
+  }
+  return 0;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  f << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "list") return list_scenarios();
+  if (command != "run") return usage();
+
+  dgr::scenario::RunnerOptions opt;
+  std::vector<dgr::scenario::ScenarioSpec> specs;
+  std::string json_path;
+  std::string csv_path;
+  bool quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto starts = [&](const char* p) { return a.rfind(p, 0) == 0; };
+    if (starts("--scenario=")) {
+      for (const auto& name : split_csv(a.substr(11))) {
+        const auto* s = dgr::scenario::find_scenario(name);
+        if (!s) {
+          std::cerr << "unknown scenario: " << name
+                    << " (see `dgr_scenarios list`)\n";
+          return 2;
+        }
+        specs.push_back(*s);
+      }
+    } else if (starts("--algos=")) {
+      opt.algos.clear();
+      for (const auto& name : split_csv(a.substr(8))) {
+        dgr::scenario::Algo algo;
+        if (!dgr::scenario::algo_from_string(name, algo)) {
+          std::cerr << "unknown algorithm: " << name
+                    << " (approx|implicit|explicit|tree|connectivity)\n";
+          return 2;
+        }
+        opt.algos.push_back(algo);
+      }
+    } else if (starts("--n=")) {
+      opt.n_override.clear();
+      for (const auto& v : split_csv(a.substr(4))) {
+        const std::size_t n = std::strtoull(v.c_str(), nullptr, 10);
+        // The harness floor mirrors check_spec: below 8 nodes there is no
+        // room for trees and crash waves (and 0 means "not a number").
+        if (n < 8) {
+          std::cerr << "bad --n value '" << v << "' (need integers >= 8)\n";
+          return 2;
+        }
+        opt.n_override.push_back(n);
+      }
+    } else if (starts("--threads=")) {
+      opt.threads = static_cast<unsigned>(
+          std::strtoul(a.c_str() + 10, nullptr, 10));
+    } else if (starts("--seed=")) {
+      opt.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a == "--dense") {
+      opt.sparse_rounds = false;
+    } else if (starts("--json=")) {
+      json_path = a.substr(7);
+    } else if (starts("--csv=")) {
+      csv_path = a.substr(6);
+    } else if (a == "--no-intervals") {
+      opt.keep_intervals = false;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return usage();
+    }
+  }
+  if (specs.empty()) specs = dgr::scenario::builtin_scenarios();
+
+  const auto report = dgr::scenario::run_matrix(specs, opt);
+
+  if (!quiet) std::cout << dgr::scenario::to_table(report);
+  if (!json_path.empty() &&
+      !write_file(json_path, dgr::scenario::to_json(report)))
+    return 1;
+  if (!csv_path.empty() &&
+      !write_file(csv_path, dgr::scenario::to_csv(report)))
+    return 1;
+
+  std::size_t failed = 0;
+  for (const auto& s : report.scenarios) {
+    for (const auto& r : s.runs) {
+      if (!r.validated) {
+        ++failed;
+        std::cerr << "FAIL " << s.name << " / " << r.algo << " / n=" << r.n
+                  << ": " << r.outcome << " — " << r.validation << "\n";
+      }
+    }
+  }
+  std::cout << report.run_count() - failed << "/" << report.run_count()
+            << " runs validated\n";
+  return failed == 0 ? 0 : 1;
+}

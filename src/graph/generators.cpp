@@ -89,6 +89,38 @@ DegreeSequence make_graphic(DegreeSequence d) {
   return d;
 }
 
+DegreeSequence make_tree_realizable(DegreeSequence d) {
+  const std::size_t n = d.size();
+  if (n == 0) return d;
+  if (n == 1) {
+    d[0] = 0;
+    return d;
+  }
+  const std::uint64_t cap = n - 1;
+  for (auto& di : d) di = std::clamp<std::uint64_t>(di, 1, cap);
+  const std::uint64_t want = 2 * (static_cast<std::uint64_t>(n) - 1);
+  std::uint64_t sum = degree_sum(d);
+  // After the clamp, n <= sum <= n(n-1) brackets want = 2n-2, so each
+  // round-robin pass below makes progress and the loops terminate.
+  while (sum > want) {
+    for (std::size_t i = 0; i < n && sum > want; ++i) {
+      if (d[i] > 1) {
+        --d[i];
+        --sum;
+      }
+    }
+  }
+  while (sum < want) {
+    for (std::size_t i = 0; i < n && sum < want; ++i) {
+      if (d[i] < cap) {
+        ++d[i];
+        ++sum;
+      }
+    }
+  }
+  return d;
+}
+
 DegreeSequence powerlaw_sequence(std::size_t n, std::uint64_t dmax,
                                  double alpha, Rng& rng) {
   DGR_CHECK(n >= 2 && dmax >= 1);

@@ -46,6 +46,15 @@ DegreeSequence random_tree_sequence(std::size_t n, Rng& rng);
 /// parity, then decrements the largest entries until Erdős–Gallai holds.
 DegreeSequence make_graphic(DegreeSequence d);
 
+/// Repairs an arbitrary sequence into a tree-realizable one (Harary: all
+/// d_i >= 1, sum d_i = 2(n-1)): clamps to [1, n-1], then walks the entries
+/// round-robin, shaving >1 entries while the sum is high and topping up
+/// <n-1 entries while it is low — the rough shape of the input (which
+/// entries are hubs, which are leaves) survives the repair. Deterministic.
+/// The scenario harness uses this so one degree family can feed the tree
+/// algorithms alongside the general realizations.
+DegreeSequence make_tree_realizable(DegreeSequence d);
+
 // ---- Connectivity-threshold (ρ) generators (paper §6) ----
 
 using ThresholdVector = std::vector<std::uint64_t>;

@@ -86,6 +86,12 @@ inline std::uint64_t header_word(const Message& m) {
          (static_cast<std::uint64_t>(m.size) << 32) |
          (static_cast<std::uint64_t>(m.id_mask) << 40);
 }
+/// Header for the one-word fast path (Ctx::send1 / send1_id): size == 1 and
+/// id_mask == (is_id ? 1 : 0), precomputed so the encoder is three stores.
+inline std::uint64_t header1_word(std::uint32_t tag, bool is_id) {
+  return static_cast<std::uint64_t>(tag) | (std::uint64_t{1} << 32) |
+         (static_cast<std::uint64_t>(is_id ? 1u : 0u) << 40);
+}
 
 inline Slot src(const std::uint64_t* rec) { return static_cast<Slot>(rec[0]); }
 inline Slot dst(const std::uint64_t* rec) {

@@ -427,32 +427,45 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
   // Run the per-node body. Nodes are independent by contract, so slots can
   // be processed in parallel; all randomness is per-slot, so the transcript
   // is identical for any thread count. Tiny active sets skip the barrier.
-  const bool parallel =
-      threads_ > 1 && (!round_list_ || items >= kSparseParallelGrain);
-  if (!parallel) {
-    run_slots(0, items, 0, body, thunk);
-  } else {
-    const std::size_t chunk = (items + threads_ - 1) / threads_;
-    for (unsigned t = 0; t < threads_; ++t) {
-      worker_span_[t] = {std::min<std::size_t>(t * chunk, items),
-                         std::min<std::size_t>((t + 1) * chunk, items)};
+  sparse_dispatch_ = round_list_ != nullptr;
+  {
+    // in_body_ guards the referee-only knobs (set_drop_probability)
+    // against mid-body flips: it must read true exactly while bodies may
+    // run, and must reset on every exit path including body exceptions —
+    // hence RAII, not manual clears. The set happens-before the worker
+    // kick (pool mutex) and the reset happens-after the join barrier.
+    const struct BodyScope {
+      bool& flag;
+      explicit BodyScope(bool& f) : flag(f) { flag = true; }
+      ~BodyScope() { flag = false; }
+    } body_scope(in_body_);
+    const bool parallel =
+        threads_ > 1 && (!round_list_ || items >= kSparseParallelGrain);
+    if (!parallel) {
+      run_slots(0, items, 0, body, thunk);
+    } else {
+      const std::size_t chunk = (items + threads_ - 1) / threads_;
+      for (unsigned t = 0; t < threads_; ++t) {
+        worker_span_[t] = {std::min<std::size_t>(t * chunk, items),
+                           std::min<std::size_t>((t + 1) * chunk, items)};
+      }
+      if (!pool_) pool_ = std::make_unique<WorkerPool>(*this, threads_ - 1);
+      pool_->kick(body, thunk, threads_ - 1);
+      // The calling thread is worker 0; run its slice before blocking.
+      std::exception_ptr main_err;
+      try {
+        run_slots(worker_span_[0].first, worker_span_[0].second, 0, body,
+                  thunk);
+      } catch (...) {
+        main_err = std::current_exception();
+      }
+      try {
+        pool_->wait();
+      } catch (...) {
+        if (!main_err) main_err = std::current_exception();
+      }
+      if (main_err) std::rethrow_exception(main_err);
     }
-    if (!pool_) pool_ = std::make_unique<WorkerPool>(*this, threads_ - 1);
-    pool_->kick(body, thunk, threads_ - 1);
-    // The calling thread is worker 0; run its slice before blocking.
-    std::exception_ptr main_err;
-    try {
-      run_slots(worker_span_[0].first, worker_span_[0].second, 0, body,
-                thunk);
-    } catch (...) {
-      main_err = std::current_exception();
-    }
-    try {
-      pool_->wait();
-    } catch (...) {
-      if (!main_err) main_err = std::current_exception();
-    }
-    if (main_err) std::rethrow_exception(main_err);
   }
 
   deliver();
@@ -575,11 +588,12 @@ void Network::deliver() {
       }
     }
   }
-  std::uint64_t max_send = stats_.max_send_in_round;
+  std::uint64_t round_max_send = 0;
   for (const auto& out : outboxes_)
-    max_send = std::max<std::uint64_t>(max_send,
-                                       static_cast<std::uint64_t>(out.max_send));
-  stats_.max_send_in_round = max_send;
+    round_max_send = std::max<std::uint64_t>(
+        round_max_send, static_cast<std::uint64_t>(out.max_send));
+  stats_.max_send_in_round =
+      std::max(stats_.max_send_in_round, round_max_send);
 
   // Pass 2 — per-destination layout and oversubscription draws, in
   // destination-slot order. For each overflowing destination, draw the
@@ -601,12 +615,12 @@ void Network::deliver() {
   std::size_t accept_msgs = 0;    // accepted messages (stats, trace order)
   std::size_t layout_words = 0;   // inbox arena extent, incl. overflow slack
   std::size_t bounce_total = 0;
-  std::uint64_t max_recv = stats_.max_recv_in_round;
+  std::uint64_t round_max_recv = 0;
   for (const Slot d : touched_dests_) {
     const std::uint64_t dc = dest_count_[d];
     const std::size_t m = pk_count(dc);
     const std::size_t w = pk_words(dc);
-    max_recv = std::max<std::uint64_t>(max_recv, m);
+    round_max_recv = std::max<std::uint64_t>(round_max_recv, m);
     // kOvfBit guard: the word cursor lives in the low 31 bits of
     // inbox_cur_ and bit 31 is the oversubscription flag. Reject the round
     // BEFORE stamping any cursor whose arithmetic could reach the flag bit,
@@ -654,7 +668,8 @@ void Network::deliver() {
     // front, the bounced records' words are slack the next round reclaims.
     layout_words += w;
   }
-  stats_.max_recv_in_round = max_recv;
+  stats_.max_recv_in_round =
+      std::max(stats_.max_recv_in_round, round_max_recv);
   // bounce_refs_ cursors are 32-bit message indices.
   DGR_CHECK_MSG(bounce_total < kOvfBit,
                 "round too large for 32-bit delivery cursors ("
@@ -847,6 +862,32 @@ void Network::deliver() {
   last_dense_ = touched_dests_.size() >= n_ / kDenseSweep;
   inbox_dests_.swap(touched_dests_);
   touched_dests_.clear();
+
+  // Telemetry hook, referee context (in_body_ is false, the frontier is
+  // rebuilt, all statistics folded): hand the sink this round's deltas. A
+  // sink may steer the simulation from here — crash(), a drop-probability
+  // flip — and the change applies from the next round. Detached cost: this
+  // one predictable branch.
+  if (telemetry_) [[unlikely]] {
+    RoundSample smp;
+    smp.round = stats_.rounds;
+    smp.sent = sent;
+    smp.delivered = accept_msgs;
+    smp.bounced = bounce_total;
+    smp.dropped = dropped;
+    smp.max_send = static_cast<std::uint32_t>(round_max_send);
+    smp.max_recv = static_cast<std::uint32_t>(round_max_recv);
+    smp.touched_dests = static_cast<std::uint32_t>(inbox_dests_.size());
+    smp.inbox_words = layout_words;
+    smp.frontier =
+        frontier_track_ ? static_cast<std::uint32_t>(active_.size()) : 0;
+    smp.frontier_tracked = frontier_track_;
+    smp.crashed = static_cast<std::uint32_t>(crashed_n_);
+    smp.dense_fast_path = dense_round_;
+    smp.dense_sweep = dense_sweep;
+    smp.sparse_dispatch = sparse_dispatch_;
+    telemetry_->on_round(smp);
+  }
 }
 
 std::span<const Message> Network::legacy_inbox(Slot s, Ctx::OutArena& out) {

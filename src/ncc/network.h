@@ -84,6 +84,7 @@
 #include "ncc/knowledge.h"
 #include "ncc/message.h"
 #include "ncc/stats.h"
+#include "ncc/telemetry.h"
 #include "ncc/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -263,6 +264,26 @@ class Ctx {
   [[gnu::always_inline]]
 #endif
   inline void send(NodeId to, Message m);
+
+  /// Wire-level fast path for the dominant record shape: a one-word
+  /// message. Encodes the 3-word record (no trailer) with straight-line
+  /// stores — no 48-byte Message aggregate is ever built, copied, or
+  /// looped over — and performs exactly the checks send() would, in the
+  /// same order, so the transcript (and every failure diagnostic) is
+  /// bit-identical to send(to, make_msg(tag).push(word)).
+#if defined(__GNUC__) || defined(__clang__)
+  [[gnu::always_inline]]
+#endif
+  inline void send1(NodeId to, std::uint32_t tag, std::uint64_t word);
+
+  /// One-word fast path where the word is a forwarded NodeId (the receiver
+  /// learns it on delivery). Equivalent to send(to, make_msg(tag)
+  /// .push_id(id)); on learning networks the record carries the resolved
+  /// slot trailer exactly as send() would have written it.
+#if defined(__GNUC__) || defined(__clang__)
+  [[gnu::always_inline]]
+#endif
+  inline void send1_id(NodeId to, std::uint32_t tag, NodeId id);
 
   /// Zero-copy view of the messages delivered to this node at the start of
   /// the current round: MessageRefs decode fields lazily from the wire
@@ -453,7 +474,27 @@ class Network {
 
   /// Adjust the link-loss rate mid-simulation (referee-side experiment
   /// control; e.g. run a lossless build phase, then a lossy exchange).
-  void set_drop_probability(double p) { cfg_.drop_probability = p; }
+  /// Referee context only: calling this from inside a round body is a
+  /// checked error — the round's drop draws happen at delivery, so a
+  /// mid-body flip would make the current round's loss rate depend on
+  /// which slots ran before the flip (and, with threads > 1, on worker
+  /// interleaving). Change it between rounds, or from a TelemetrySink
+  /// (which the engine invokes in referee context).
+  void set_drop_probability(double p) {
+    DGR_CHECK_MSG(!in_body_,
+                  "set_drop_probability called from inside a round body; "
+                  "the loss rate may only change between rounds (referee "
+                  "code or a telemetry hook)");
+    DGR_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                  "drop probability " << p << " outside [0, 1]");
+    cfg_.drop_probability = p;
+  }
+
+  /// Attach (or detach with nullptr) a per-round telemetry sink; see
+  /// ncc/telemetry.h for the sample contract and steering guarantees.
+  /// The Network does not own the sink; it must outlive the attachment.
+  void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
+  TelemetrySink* telemetry() const { return telemetry_; }
 
   /// Attach (or detach with nullptr) a message-level trace. The Network
   /// does not own the trace; it must outlive the attachment.
@@ -462,8 +503,13 @@ class Network {
   /// Crash-fault injection (§8 robustness experiments): a crashed node
   /// stops executing round bodies and every message addressed to it is
   /// lost (senders get no feedback — a crash is indistinguishable from
-  /// loss, which is what makes it interesting).
+  /// loss, which is what makes it interesting). Idempotent by contract:
+  /// crashing an already-crashed slot is a no-op and leaves
+  /// crashed_count() — and therefore every telemetry crashed counter —
+  /// unchanged (fault plans may legitimately hit the same slot twice,
+  /// e.g. overlapping crash waves).
   void crash(Slot s) {
+    DGR_CHECK_MSG(s < n_, "crash of invalid slot " << s);
     if (!crashed_[s]) {
       crashed_[s] = 1;
       ++crashed_n_;
@@ -629,6 +675,15 @@ class Network {
   std::vector<std::uint8_t> crashed_;
   std::size_t crashed_n_ = 0;
   Trace* trace_ = nullptr;
+  TelemetrySink* telemetry_ = nullptr;
+  // True exactly while round bodies may be executing (set before the
+  // dispatch in execute_round, cleared before deliver()). Guards the
+  // referee-only knobs above; the write happens-before the worker kick and
+  // the clear happens-after the join barrier, so worker reads are ordered.
+  bool in_body_ = false;
+  // Whether the round being delivered was dispatched on the active list
+  // (RoundSample::sparse_dispatch; execution strategy, not transcript).
+  bool sparse_dispatch_ = false;
 
   std::unique_ptr<WorkerPool> pool_;  // lazily started on first parallel round
 
@@ -733,6 +788,70 @@ inline void Ctx::send(NodeId to, Message m) {
   // Dense-round fast path: deliver() re-streams the record headers
   // sequentially, so the per-send histogram and first-touch upkeep would be
   // dead work — skip them behind one predictable branch.
+  if (!net_.dense_round_) {
+    std::uint64_t& h = out_->hist[dst];
+    if (h == 0) out_->touched.push_back(dst);
+    h += std::uint64_t{1} | (static_cast<std::uint64_t>(rec_len) << 32);
+  }
+  ++sends_;
+}
+
+inline void Ctx::send1(NodeId to, std::uint32_t tag, std::uint64_t word) {
+  const Slot dst = net_.id_map_.find(to);
+  // Encode speculatively like send(): three straight-line stores, then the
+  // combined validity check with the cold diagnostics outlined. The record
+  // bytes are exactly what send(to, make_msg(tag).push(word)) writes.
+  constexpr std::size_t rec_len = wire::kHeaderWords + 1;
+  std::uint64_t* p = out_->append(rec_len);
+  p[0] = wire::routing_word(slot_, dst);
+  p[1] = wire::header1_word(tag, /*is_id=*/false);
+  p[2] = word;
+  const Knowledge& kn = net_.know_[slot_];
+  if (to == kNoNode || dst == kNoSlot ||
+      !(kn.knows_all() || kn.knows_slot(dst)) ||
+      sends_ >= net_.capacity_) [[unlikely]] {
+    out_->len -= rec_len;  // pop the rejected record
+    net_.send_fail(slot_, to, p, sends_);
+  }
+  if (!net_.dense_round_) {
+    std::uint64_t& h = out_->hist[dst];
+    if (h == 0) out_->touched.push_back(dst);
+    h += std::uint64_t{1} | (std::uint64_t{rec_len} << 32);
+  }
+  ++sends_;
+}
+
+inline void Ctx::send1_id(NodeId to, std::uint32_t tag, NodeId id) {
+  const Slot dst = net_.id_map_.find(to);
+  const bool trailered = !net_.is_clique();
+  const std::size_t rec_len = wire::kHeaderWords + 1 + (trailered ? 1 : 0);
+  std::uint64_t* p = out_->append(rec_len);
+  p[0] = wire::routing_word(slot_, dst);
+  p[1] = wire::header1_word(tag, /*is_id=*/true);
+  p[2] = id;
+  const Knowledge& kn = net_.know_[slot_];
+  if (to == kNoNode || dst == kNoSlot ||
+      !(kn.knows_all() || kn.knows_slot(dst)) ||
+      sends_ >= net_.capacity_) [[unlikely]] {
+    out_->len -= rec_len;  // pop the rejected record
+    net_.send_fail(slot_, to, p, sends_);
+  }
+  if (trailered) {
+    // Learning network: the forwarded-ID KT0 check resolves the slot, and
+    // the record carries it as the trailer word — same as send().
+    const Slot ws = net_.known_slot_of(slot_, id);
+    if (ws == kNoSlot) [[unlikely]] {
+      out_->len -= rec_len;  // pop the rejected record
+      net_.send_fail(slot_, to, p, sends_);
+    }
+    p[3] = ws;
+  } else if (id == kNoNode) [[unlikely]] {
+    // Clique network: common knowledge covers every real ID (send()'s
+    // knows_all short-circuit — no resolution, no trailer), but a null
+    // ID is still rejected exactly as send()'s forwarded-ID loop does.
+    out_->len -= rec_len;  // pop the rejected record
+    net_.send_fail(slot_, to, p, sends_);
+  }
   if (!net_.dense_round_) {
     std::uint64_t& h = out_->hist[dst];
     if (h == 0) out_->touched.push_back(dst);

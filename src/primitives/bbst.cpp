@@ -78,9 +78,9 @@ TreeOverlay build_bbst(ncc::Network& net, PathOverlay& path) {
       const NodeId p = lpred[k - 1][s];
       const NodeId q = lsucc[k - 1][s];
       if (q != kNoNode && p != kNoNode)
-        ctx.send(q, ncc::make_msg(kTagGrandPred).push_id(p));
+        ctx.send1_id(q, kTagGrandPred, p);
       if (p != kNoNode && q != kNoNode)
-        ctx.send(p, ncc::make_msg(kTagGrandSucc).push_id(q));
+        ctx.send1_id(p, kTagGrandSucc, q);
     });
   }
 
@@ -262,11 +262,9 @@ PrefixSums tree_prefix_sum(ncc::Network& net, const TreeOverlay& tree,
     if (!have) return;
     got_base[s] = 1;
     out.exclusive[s] = base + left_sum[s];
-    if (nd.left != kNoNode)
-      ctx.send(nd.left, ncc::make_msg(kTagDown).push(base));
+    if (nd.left != kNoNode) ctx.send1(nd.left, kTagDown, base);
     if (nd.right != kNoNode)
-      ctx.send(nd.right, ncc::make_msg(kTagDown).push(
-                             base + left_sum[s] + value[s]));
+      ctx.send1(nd.right, kTagDown, base + left_sum[s] + value[s]);
   });
   for (Slot s = 0; s < n; ++s)
     DGR_CHECK_MSG(!tree.member(s) || got_base[s],

@@ -24,15 +24,16 @@ std::vector<std::uint64_t> broadcast_from_root(ncc::Network& net,
   const std::size_t members = tree.size();
   if (members == 0) return out;
 
+  // One-word wave payloads ride the wire-level fast path (Ctx::send1);
+  // transcripts are identical to the Message path by contract.
   auto forward = [&](ncc::Ctx& ctx, std::uint64_t v) {
     const auto& nd = tree.nodes[ctx.slot()];
-    auto mk = [&] {
-      auto m = ncc::make_msg(kTagBcast);
-      if (value_is_id) m.push_id(v); else m.push(v);
-      return m;
+    auto fwd = [&](ncc::NodeId to) {
+      if (value_is_id) ctx.send1_id(to, kTagBcast, v);
+      else ctx.send1(to, kTagBcast, v);
     };
-    if (nd.left != kNoNode) ctx.send(nd.left, mk());
-    if (nd.right != kNoNode) ctx.send(nd.right, mk());
+    if (nd.left != kNoNode) fwd(nd.left);
+    if (nd.right != kNoNode) fwd(nd.right);
   };
 
   // The wave: the root starts; every other member joins the frontier the
@@ -117,9 +118,8 @@ std::vector<std::uint64_t> broadcast_from_leader(ncc::Network& net,
         root_has = true;  // workers sync on the round barrier before reads
         return;
       }
-      auto m = ncc::make_msg(kTagLeaderUp);
-      if (value_is_id) m.push_id(v); else m.push(v);
-      ctx.send(tree.nodes[s].parent, m);
+      if (value_is_id) ctx.send1_id(tree.nodes[s].parent, kTagLeaderUp, v);
+      else ctx.send1(tree.nodes[s].parent, kTagLeaderUp, v);
     });
   }
   return broadcast_from_root(net, tree, at_root, value_is_id);

@@ -99,7 +99,7 @@ ReliableResult reliable_exchange_impl(
       while (!rcv.acks_to_send.empty() && ctx.sends_left() > 0) {
         const auto [dst, seq] = rcv.acks_to_send.front();
         rcv.acks_to_send.pop_front();
-        ctx.send(dst, ncc::make_msg(kTagAck).push(seq));
+        ctx.send1(dst, kTagAck, seq);
       }
 
       // Retransmit timed-out entries (bounces and drops look identical);

@@ -53,9 +53,9 @@ SkipOverlay build_skiplinks(ncc::Network& net, const PathOverlay& path) {
       const NodeId ahead = skip.fwd[k - 1][s];
       const NodeId behind = skip.bwd[k - 1][s];
       if (behind != kNoNode && ahead != kNoNode)
-        ctx.send(behind, ncc::make_msg(kTagSkipFwd).push_id(ahead));
+        ctx.send1_id(behind, kTagSkipFwd, ahead);
       if (ahead != kNoNode && behind != kNoNode)
-        ctx.send(ahead, ncc::make_msg(kTagSkipBwd).push_id(behind));
+        ctx.send1_id(ahead, kTagSkipBwd, behind);
     });
   }
   return skip;

@@ -72,4 +72,35 @@ ExplicitDegreeResult make_explicit_reliable(
   return out;
 }
 
+ResilientExplicitResult make_explicit_resilient(
+    ncc::Network& net, const ImplicitDegreeResult& implicit_result,
+    std::uint64_t retransmit_after, std::uint64_t max_attempts) {
+  ResilientExplicitResult res;
+  ExplicitDegreeResult& out = res.result;
+  out.realizable = implicit_result.realizable;
+  out.implicit_rounds = implicit_result.rounds;
+  out.phases = implicit_result.phases;
+  const std::size_t n = net.n();
+  out.adjacency.assign(n, {});
+  if (!out.realizable) return res;
+
+  std::vector<std::vector<prim::DirectSend>> batch(n);
+  for (ncc::Slot s = 0; s < n; ++s) {
+    out.adjacency[s] = implicit_result.stored[s];
+    for (const ncc::NodeId v : implicit_result.stored[s])
+      batch[s].push_back({v, kTagEdgeNotify, 0, false});
+  }
+  const prim::ReliableResult xc = prim::reliable_exchange_bounded(
+      net, batch,
+      [&](prim::Slot receiver, ncc::NodeId src, std::uint32_t user_tag,
+          std::uint64_t) {
+        if (user_tag == kTagEdgeNotify)
+          out.adjacency[receiver].push_back(src);
+      },
+      retransmit_after, max_attempts);
+  out.explicit_rounds = xc.rounds;
+  res.given_up = xc.given_up;
+  return res;
+}
+
 }  // namespace dgr::realize

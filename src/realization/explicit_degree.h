@@ -38,4 +38,18 @@ ExplicitDegreeResult realize_degrees_explicit(
 ExplicitDegreeResult make_explicit_reliable(
     ncc::Network& net, const ImplicitDegreeResult& implicit_result);
 
+/// Crash-and-loss-tolerant explicitization (§8): transported over
+/// reliable_exchange_bounded, so notifications to crashed endpoints are
+/// abandoned after `max_attempts` unacknowledged transmissions instead of
+/// livelocking. Delivered notifications remain exactly-once; survivors'
+/// adjacency satisfies realize::validate_explicit_survivors. `given_up`
+/// reports the abandoned notification count.
+struct ResilientExplicitResult {
+  ExplicitDegreeResult result;
+  std::uint64_t given_up = 0;
+};
+ResilientExplicitResult make_explicit_resilient(
+    ncc::Network& net, const ImplicitDegreeResult& implicit_result,
+    std::uint64_t retransmit_after = 4, std::uint64_t max_attempts = 48);
+
 }  // namespace dgr::realize

@@ -1,8 +1,11 @@
 #include "realization/validate.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "seq/connectivity_baseline.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace dgr::realize {
 
@@ -88,6 +91,96 @@ Validation validate_upper_envelope(
   }
   if (total_real > 2 * total_req)
     return Validation::fail("discrepancy exceeds sum of degrees");
+  return Validation::pass();
+}
+
+Validation validate_tree_realization(
+    const ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    const std::vector<std::vector<ncc::NodeId>>& stored) {
+  const Validation deg = validate_degree_realization(net, degree, stored);
+  if (!deg.ok) return deg;
+  const graph::Graph g = graph_from_stored(net, stored);
+  if (!g.is_tree()) {
+    std::ostringstream os;
+    os << "realization is not a tree (" << g.m() << " edges, connected="
+       << (g.connected() ? "yes" : "no") << ")";
+    return Validation::fail(os.str());
+  }
+  return Validation::pass();
+}
+
+Validation validate_explicit_survivors(
+    const ncc::Network& net,
+    const std::vector<std::vector<ncc::NodeId>>& stored,
+    const std::vector<std::vector<ncc::NodeId>>& adjacency) {
+  DGR_CHECK(stored.size() == net.n() && adjacency.size() == net.n());
+  const graph::Graph implicit = graph_from_stored(net, stored);
+  std::vector<graph::Vertex> listed;  // slot s's adjacency, sorted; reused
+  for (ncc::Slot s = 0; s < net.n(); ++s) {
+    const auto v = static_cast<graph::Vertex>(s);
+    // (i) No phantom or duplicate entries — checked for crashed nodes
+    // too: whatever landed in their lists before the crash must still be
+    // real edges, delivered at most once.
+    listed.clear();
+    for (const ncc::NodeId id : adjacency[s]) {
+      const auto u = static_cast<graph::Vertex>(net.slot_of(id));
+      if (!implicit.has_edge(v, u)) {
+        std::ostringstream os;
+        os << "surviving slot " << s << " lists phantom edge to " << id;
+        return Validation::fail(os.str());
+      }
+      listed.push_back(u);
+    }
+    std::sort(listed.begin(), listed.end());
+    if (std::adjacent_find(listed.begin(), listed.end()) != listed.end()) {
+      std::ostringstream os;
+      os << "surviving slot " << s << " lists an edge twice";
+      return Validation::fail(os.str());
+    }
+    // (ii) Completeness among survivors: both sides of every
+    // survivor–survivor implicit edge know it. The implicit graph's
+    // neighbor list covers both the edges s stored itself and the edges
+    // whose aware side is the (surviving) peer — either way both
+    // endpoints survived, so the notification must have landed.
+    if (net.is_crashed(s)) continue;
+    for (const auto u : implicit.neighbors(v)) {
+      const auto t = static_cast<ncc::Slot>(u);
+      if (net.is_crashed(t)) continue;
+      if (!std::binary_search(listed.begin(), listed.end(), u)) {
+        std::ostringstream os;
+        os << "surviving slot " << s << " never learned its edge to slot "
+           << t;
+        return Validation::fail(os.str());
+      }
+    }
+  }
+  return Validation::pass();
+}
+
+Validation validate_connectivity_thresholds(
+    const ncc::Network& net, const std::vector<std::uint64_t>& rho,
+    const std::vector<std::vector<ncc::NodeId>>& stored,
+    std::uint64_t seed) {
+  DGR_CHECK(rho.size() == net.n() && stored.size() == net.n());
+  const graph::Graph g = graph_from_stored(net, stored);
+  std::uint64_t sum_rho = 0;
+  for (const auto r : rho) sum_rho += r;
+  // deg(v) >= rho(v) forces OPT >= ceil(sum/2); both §6 algorithms emit at
+  // most sum(rho) edges — the 2-approximation certificate.
+  if (g.m() > sum_rho) {
+    std::ostringstream os;
+    os << "edge count " << g.m() << " exceeds the 2-approximation bound "
+       << sum_rho;
+    return Validation::fail(os.str());
+  }
+  Rng vrng(hash_mix(seed, 0x5A11FABULL));
+  const auto violation = seq::find_threshold_violation(g, rho, vrng);
+  if (violation) {
+    std::ostringstream os;
+    os << "threshold violated for pair (" << violation->first << ", "
+       << violation->second << ")";
+    return Validation::fail(os.str());
+  }
   return Validation::pass();
 }
 

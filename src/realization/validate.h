@@ -46,4 +46,33 @@ Validation validate_upper_envelope(
     const ncc::Network& net, const std::vector<std::uint64_t>& degree,
     const std::vector<std::vector<ncc::NodeId>>& stored);
 
+/// Tree realization (paper §5): the stored edges form a tree on all n
+/// nodes and every realized degree equals degree[slot] exactly.
+Validation validate_tree_realization(
+    const ncc::Network& net, const std::vector<std::uint64_t>& degree,
+    const std::vector<std::vector<ncc::NodeId>>& stored);
+
+/// Survivor-scope explicit validation (§8 crash experiments): the implicit
+/// realization completed before a crash wave hit the explicitization, so
+/// full symmetry is impossible — crashed nodes hold partial adjacency and
+/// their notifications may never have been streamed. What must still hold:
+///   (i)  no phantom edges: every adjacency entry of a surviving node is an
+///        endpoint of a real implicit edge, listed at most once;
+///   (ii) completeness among survivors: for every implicit edge whose BOTH
+///        endpoints survived, both sides list it (the crash-tolerant
+///        transport only abandons messages to crashed destinations).
+/// Crashed nodes' lists are ignored beyond check (i)'s edge-existence.
+Validation validate_explicit_survivors(
+    const ncc::Network& net,
+    const std::vector<std::vector<ncc::NodeId>>& stored,
+    const std::vector<std::vector<ncc::NodeId>>& adjacency);
+
+/// Connectivity-threshold realization (paper §6): realized edge count is
+/// within the 2-approximation bound (m <= sum rho <= 2 OPT) and sampled
+/// pairs meet Conn(u, v) >= min(rho(u), rho(v)) by max-flow (Menger),
+/// seeded deterministically from `seed`.
+Validation validate_connectivity_thresholds(
+    const ncc::Network& net, const std::vector<std::uint64_t>& rho,
+    const std::vector<std::vector<ncc::NodeId>>& stored, std::uint64_t seed);
+
 }  // namespace dgr::realize

@@ -1,0 +1,180 @@
+#include "scenario/library.h"
+
+namespace dgr::scenario {
+
+namespace {
+
+std::vector<ScenarioSpec> make_library() {
+  std::vector<ScenarioSpec> lib;
+
+  {
+    ScenarioSpec s;
+    s.name = "clean-regular";
+    s.description =
+        "Baseline: 8-regular sequence, NCC0 path start, reliable links";
+    s.family = Family::kRegular;
+    s.degree = 8;
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "clean-ncc1";
+    s.description =
+        "NCC1 clique start on the same 8-regular family (the O~(1) "
+        "approx and Theorem 17 connectivity variants)";
+    s.family = Family::kRegular;
+    s.degree = 8;
+    s.initial = ncc::InitialKnowledge::kClique;
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "powerlaw-heavytail";
+    s.description = "Power-law degrees (hubs + long tail), NCC0";
+    s.family = Family::kPowerlaw;
+    s.degree = 4;
+    s.alpha = 2.0;
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "bimodal-split";
+    s.description = "Half low-degree, half high-degree nodes";
+    s.family = Family::kBimodal;
+    s.degree = 3;
+    s.degree_hi = 12;
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "star-heavy-hubs";
+    s.description =
+        "The §7 lower-bound family D*(n, m): ~2n edges concentrated on "
+        "Theta(sqrt(m)) hubs, zeros elsewhere";
+    s.family = Family::kStarHeavy;
+    s.degree = 2;  // m = 2n
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "caterpillar-chain";
+    s.description =
+        "Tree-realizable family realized as the maximum-diameter "
+        "caterpillar (Algorithm 4)";
+    s.family = Family::kRandomTree;
+    s.caterpillar = true;
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "tiny-capacity-flood";
+    s.description =
+        "Capacity squeezed to the floor (factor 1): every fan-in "
+        "oversubscribes, the bounce/retry machinery carries the build";
+    s.family = Family::kRegular;
+    s.degree = 12;
+    s.capacity_factor = 1;
+    s.min_capacity = 8;
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "tiered-backbone";
+    s.description =
+        "Core/relay/edge threshold tiers (the resilient-backbone shape)";
+    s.family = Family::kTiered;
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "lossy-ramp";
+    s.description =
+        "Link loss ramps 0 -> 30% across the exchange stage, then a flip "
+        "back to lossless; ACK+retransmit transport carries it";
+    s.family = Family::kRegular;
+    s.degree = 8;
+    s.exchange_tokens = 6;
+    FaultEvent ramp;
+    ramp.kind = FaultEvent::Kind::kLossRamp;
+    ramp.stage = Stage::kExchange;
+    ramp.at_round = 0;
+    ramp.duration = 12;
+    ramp.loss_permille = 300;
+    s.plan.events.push_back(ramp);
+    FaultEvent off;
+    off.kind = FaultEvent::Kind::kLossSet;
+    off.stage = Stage::kExchange;
+    off.at_round = 48;
+    off.loss_permille = 0;
+    s.plan.events.push_back(off);
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "lossy-burst-flips";
+    s.description =
+        "Two mid-run drop-probability flips on a power-law overlay: a 40% "
+        "burst, quiet, then a 15% aftershock";
+    s.family = Family::kPowerlaw;
+    s.degree = 4;
+    s.alpha = 2.2;
+    s.exchange_tokens = 6;
+    FaultEvent burst;
+    burst.kind = FaultEvent::Kind::kLossBurst;
+    burst.stage = Stage::kExchange;
+    burst.at_round = 1;
+    burst.duration = 8;
+    burst.loss_permille = 400;
+    s.plan.events.push_back(burst);
+    FaultEvent after;
+    after.kind = FaultEvent::Kind::kLossBurst;
+    after.stage = Stage::kExchange;
+    after.at_round = 14;
+    after.duration = 6;
+    after.loss_permille = 150;
+    s.plan.events.push_back(after);
+    lib.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "crash-wave-mid-build";
+    s.description =
+        "Two crash waves (15% then 15% of survivors) hit while the "
+        "explicitization / overlay exchange is in flight; the bounded "
+        "ACK transport abandons crashed peers, survivors stay consistent";
+    s.family = Family::kRegular;
+    s.degree = 6;
+    s.exchange_tokens = 6;
+    FaultEvent w1;
+    w1.kind = FaultEvent::Kind::kCrashWave;
+    w1.stage = Stage::kExchange;
+    w1.at_round = 1;
+    w1.crash_permille = 150;
+    s.plan.events.push_back(w1);
+    FaultEvent w2;
+    w2.kind = FaultEvent::Kind::kCrashWave;
+    w2.stage = Stage::kExchange;
+    w2.at_round = 5;
+    w2.crash_permille = 150;
+    s.plan.events.push_back(w2);
+    lib.push_back(s);
+  }
+
+  return lib;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& builtin_scenarios() {
+  static const std::vector<ScenarioSpec> lib = make_library();
+  return lib;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const auto& s : builtin_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace dgr::scenario

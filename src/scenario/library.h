@@ -1,0 +1,25 @@
+// The named scenario library — the shipped §8 robustness matrix.
+//
+// Ten scenarios spanning the axes the ROADMAP's "as many scenarios as you
+// can imagine" demands: input family (regular, power-law, bimodal,
+// star-heavy, caterpillar/tree, tiered), initial knowledge (NCC0 path vs
+// NCC1 clique), capacity pressure (tiny budgets, strict-adjacent flood),
+// link loss (ramps, bursts, mid-run flips), and crash waves. Every
+// scenario runs all five realization algorithms; every completed output
+// validates against realization/validate (crash scenarios at survivor
+// scope). See EXPERIMENTS.md for the observed matrix.
+#pragma once
+
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace dgr::scenario {
+
+/// The shipped scenarios (stable order; >= 8 by the harness contract).
+const std::vector<ScenarioSpec>& builtin_scenarios();
+
+/// Lookup by ScenarioSpec::name; nullptr when unknown.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+}  // namespace dgr::scenario

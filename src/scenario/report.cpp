@@ -1,0 +1,204 @@
+#include "scenario/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace dgr::scenario {
+
+namespace {
+
+/// Minimal JSON string escaping — report strings are ASCII identifiers and
+/// validator diagnostics, so quotes/backslashes/control bytes cover it.
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class Json {
+ public:
+  explicit Json(std::string& out) : out_(out) {}
+
+  void open(char b) {
+    out_ += b;
+    ++depth_;
+    first_ = true;
+  }
+  void close(char b) {
+    --depth_;
+    out_ += '\n';
+    indent();
+    out_ += b;
+    first_ = false;
+  }
+  void key(const std::string& k) {
+    sep();
+    append_escaped(out_, k);
+    out_ += ": ";
+  }
+  void value(const std::string& v) { append_escaped(out_, v); }
+  void value(std::uint64_t v) { out_ += std::to_string(v); }
+  void value(bool v) { out_ += v ? "true" : "false"; }
+  template <typename V>
+  void kv(const std::string& k, const V& v) {
+    key(k);
+    value(v);
+  }
+  /// Array-element separator (for elements that are objects/arrays).
+  void elem() { sep(); }
+
+ private:
+  void sep() {
+    if (!first_) out_ += ',';
+    out_ += '\n';
+    indent();
+    first_ = false;
+  }
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ += "  ";
+  }
+  std::string& out_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+void write_interval(Json& j, const IntervalRecord& iv) {
+  j.open('{');
+  j.kv("first_round", iv.first_round);
+  j.kv("rounds", iv.rounds);
+  j.kv("sent", iv.sent);
+  j.kv("delivered", iv.delivered);
+  j.kv("bounced", iv.bounced);
+  j.kv("dropped", iv.dropped);
+  j.kv("max_send", std::uint64_t{iv.max_send});
+  j.kv("max_recv", std::uint64_t{iv.max_recv});
+  j.kv("max_touched", std::uint64_t{iv.max_touched});
+  j.kv("max_frontier", std::uint64_t{iv.max_frontier});
+  j.kv("inbox_words_peak", iv.inbox_words_peak);
+  j.kv("crashed_end", std::uint64_t{iv.crashed_end});
+  // Execution-strategy counters intentionally omitted: the report promises
+  // byte-identical output across thread counts and round schedulers.
+  j.close('}');
+}
+
+void write_run(Json& j, const RunRecord& r) {
+  j.open('{');
+  j.kv("algo", r.algo);
+  j.kv("n", r.n);
+  j.kv("outcome", r.outcome);
+  j.kv("validated", r.validated);
+  j.kv("validation", r.validation);
+  j.kv("build_rounds", r.build_rounds);
+  j.kv("exchange_rounds", r.exchange_rounds);
+  j.kv("total_rounds", r.total_rounds);
+  j.kv("sent", r.sent);
+  j.kv("delivered", r.delivered);
+  j.kv("bounced", r.bounced);
+  j.kv("dropped", r.dropped);
+  j.kv("max_send", r.max_send);
+  j.kv("max_recv", r.max_recv);
+  j.kv("max_frontier", r.max_frontier);
+  j.kv("inbox_words_peak", r.inbox_words_peak);
+  j.kv("crashed", r.crashed);
+  j.kv("edges", r.edges);
+  j.kv("exchange_total", r.exchange_total);
+  j.kv("exchange_given_up", r.exchange_given_up);
+  j.key("telemetry");
+  j.open('[');
+  for (const auto& iv : r.intervals) {
+    j.elem();
+    write_interval(j, iv);
+  }
+  j.close(']');
+  j.close('}');
+}
+
+}  // namespace
+
+std::string to_json(const MatrixReport& report) {
+  std::string out;
+  out.reserve(1 << 16);
+  Json j(out);
+  j.open('{');
+  j.kv("schema", std::string("dgr-scenario-report-v1"));
+  j.kv("seed", report.seed);
+  j.kv("runs", static_cast<std::uint64_t>(report.run_count()));
+  j.kv("all_validated", report.all_validated());
+  j.key("scenarios");
+  j.open('[');
+  for (const auto& s : report.scenarios) {
+    j.elem();
+    j.open('{');
+    j.kv("name", s.name);
+    j.kv("description", s.description);
+    j.key("runs");
+    j.open('[');
+    for (const auto& r : s.runs) {
+      j.elem();
+      write_run(j, r);
+    }
+    j.close(']');
+    j.close('}');
+  }
+  j.close(']');
+  j.close('}');
+  out += '\n';
+  return out;
+}
+
+std::string to_csv(const MatrixReport& report) {
+  std::ostringstream os;
+  os << "scenario,algo,n,outcome,validated,build_rounds,exchange_rounds,"
+        "total_rounds,sent,delivered,bounced,dropped,max_send,max_recv,"
+        "max_frontier,crashed,edges,exchange_total,exchange_given_up\n";
+  for (const auto& s : report.scenarios) {
+    for (const auto& r : s.runs) {
+      os << s.name << ',' << r.algo << ',' << r.n << ',' << r.outcome << ','
+         << (r.validated ? 1 : 0) << ',' << r.build_rounds << ','
+         << r.exchange_rounds << ',' << r.total_rounds << ',' << r.sent
+         << ',' << r.delivered << ',' << r.bounced << ',' << r.dropped << ','
+         << r.max_send << ',' << r.max_recv << ',' << r.max_frontier << ','
+         << r.crashed << ',' << r.edges << ',' << r.exchange_total << ','
+         << r.exchange_given_up << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string to_table(const MatrixReport& report) {
+  std::ostringstream os;
+  for (const auto& s : report.scenarios) {
+    Table t(s.name + " — " + s.description);
+    t.header({"algo", "n", "outcome", "valid", "rounds", "msgs", "bounced",
+              "dropped", "crashed", "edges"});
+    for (const auto& r : s.runs) {
+      t.row({r.algo, Table::num(r.n), r.outcome,
+             r.validated ? "pass" : r.validation, Table::num(r.total_rounds),
+             Table::num(r.sent), Table::num(r.bounced),
+             Table::num(r.dropped), Table::num(r.crashed),
+             Table::num(r.edges)});
+    }
+    t.print(os);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dgr::scenario

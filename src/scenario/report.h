@@ -1,0 +1,27 @@
+// Deterministic JSON / CSV serialization of scenario reports.
+//
+// The serializers are byte-exact functions of the MatrixReport: fixed key
+// order, integer-only numbers (loss levels are permille, never floats),
+// LF newlines, no locale dependence. Combined with the runner's
+// determinism contract this makes `same seed => byte-identical file` hold
+// at any thread count and under either round scheduler — which is exactly
+// what the determinism tests diff. Execution-strategy telemetry
+// (dense/sparse round counts) is deliberately absent from the surface.
+#pragma once
+
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace dgr::scenario {
+
+/// Pretty-printed JSON (2-space indent), schema "dgr-scenario-report-v1".
+std::string to_json(const MatrixReport& report);
+
+/// One CSV row per run (no telemetry intervals); header row first.
+std::string to_csv(const MatrixReport& report);
+
+/// Human-oriented per-run summary table (util/table); one line per run.
+std::string to_table(const MatrixReport& report);
+
+}  // namespace dgr::scenario

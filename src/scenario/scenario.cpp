@@ -1,0 +1,237 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/generators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dgr::scenario {
+
+const char* to_string(Family f) {
+  switch (f) {
+    case Family::kRegular: return "regular";
+    case Family::kPowerlaw: return "powerlaw";
+    case Family::kBimodal: return "bimodal";
+    case Family::kStarHeavy: return "star-heavy";
+    case Family::kRandomTree: return "random-tree";
+    case Family::kTiered: return "tiered";
+  }
+  return "?";
+}
+
+const char* to_string(Algo a) {
+  switch (a) {
+    case Algo::kApproxDegree: return "approx";
+    case Algo::kImplicitDegree: return "implicit";
+    case Algo::kExplicitDegree: return "explicit";
+    case Algo::kTree: return "tree";
+    case Algo::kConnectivity: return "connectivity";
+  }
+  return "?";
+}
+
+bool algo_from_string(const std::string& s, Algo& out) {
+  for (const Algo a : kAllAlgos) {
+    if (s == to_string(a)) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::crashes(Stage stage) const {
+  return std::any_of(events.begin(), events.end(), [&](const FaultEvent& e) {
+    return e.stage == stage && e.kind == FaultEvent::Kind::kCrashWave &&
+           e.crash_permille > 0;
+  });
+}
+
+bool FaultPlan::loses(Stage stage) const {
+  return std::any_of(events.begin(), events.end(), [&](const FaultEvent& e) {
+    return e.stage == stage && e.kind != FaultEvent::Kind::kCrashWave &&
+           e.loss_permille > 0;
+  });
+}
+
+namespace {
+
+/// Ordered accumulation point for one stage's actions: later writers win
+/// per round, which makes event composition (a burst ending inside a ramp,
+/// two waves on one round) deterministic regardless of plan order.
+using StageActions = std::map<std::uint64_t, RoundAction>;
+
+RoundAction& at(StageActions& m, std::uint64_t round) {
+  RoundAction& a = m[round];
+  a.round = round;
+  return a;
+}
+
+void compile_event(const FaultEvent& e, StageActions& m, std::size_t n,
+                   std::vector<std::uint8_t>& planned_crashed,
+                   std::size_t& plan_alive, Rng& rng,
+                   std::uint32_t& planned_total) {
+  switch (e.kind) {
+    case FaultEvent::Kind::kLossSet:
+      at(m, e.at_round).set_loss_permille =
+          static_cast<std::int32_t>(e.loss_permille);
+      break;
+    case FaultEvent::Kind::kLossBurst:
+      at(m, e.at_round).set_loss_permille =
+          static_cast<std::int32_t>(e.loss_permille);
+      at(m, e.at_round + std::max<std::uint64_t>(e.duration, 1))
+          .set_loss_permille = 0;
+      break;
+    case FaultEvent::Kind::kLossRamp: {
+      const std::uint64_t dur = std::max<std::uint64_t>(e.duration, 1);
+      for (std::uint64_t r = 0; r <= dur; ++r) {
+        at(m, e.at_round + r).set_loss_permille =
+            static_cast<std::int32_t>(e.loss_permille * r / dur);
+      }
+      break;
+    }
+    case FaultEvent::Kind::kCrashWave: {
+      // Crash a permille share of the nodes the plan still counts alive
+      // (waves compose: a second wave draws from the first's survivors).
+      std::size_t count = plan_alive * e.crash_permille / 1000;
+      count = std::min(count, plan_alive);
+      if (e.crash_permille > 0 && count == 0 && plan_alive > 0) count = 1;
+      RoundAction& a = at(m, e.at_round);
+      for (std::size_t k = 0; k < count; ++k) {
+        ncc::Slot s;
+        do {
+          s = static_cast<ncc::Slot>(rng.below(n));
+        } while (planned_crashed[s]);
+        planned_crashed[s] = 1;
+        --plan_alive;
+        a.crash.push_back(s);
+      }
+      std::sort(a.crash.begin(), a.crash.end());
+      planned_total += static_cast<std::uint32_t>(count);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+CompiledSchedule compile_plan(const ScenarioSpec& spec, std::size_t n,
+                              std::uint64_t seed) {
+  CompiledSchedule out;
+  std::vector<std::uint8_t> planned_crashed(n, 0);
+  std::size_t plan_alive = n;
+  Rng rng(hash_mix(seed, 0xFA017C0DEULL, n));
+
+  // Deterministic event order: by (stage, trigger round, plan position).
+  std::vector<const FaultEvent*> order;
+  order.reserve(spec.plan.events.size());
+  for (const auto& e : spec.plan.events) order.push_back(&e);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     if (a->stage != b->stage) return a->stage < b->stage;
+                     return a->at_round < b->at_round;
+                   });
+
+  StageActions build_m, exchange_m;
+  for (const FaultEvent* e : order) {
+    StageActions& m = e->stage == Stage::kBuild ? build_m : exchange_m;
+    compile_event(*e, m, n, planned_crashed, plan_alive, rng,
+                  out.planned_crashes);
+  }
+  for (auto& [r, a] : build_m) out.build.push_back(std::move(a));
+  for (auto& [r, a] : exchange_m) out.exchange.push_back(std::move(a));
+  return out;
+}
+
+namespace {
+
+std::uint64_t clamp_deg(std::uint64_t d, std::size_t n) {
+  return std::min<std::uint64_t>(d, n > 0 ? n - 1 : 0);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> degrees_for(const ScenarioSpec& spec,
+                                       std::size_t n, std::uint64_t seed) {
+  Rng rng(hash_mix(seed, 0xDE62EE5ULL, n));
+  switch (spec.family) {
+    case Family::kRegular:
+      return graph::regular_sequence(n, clamp_deg(spec.degree, n));
+    case Family::kPowerlaw: {
+      const std::uint64_t dmax = clamp_deg(
+          spec.degree_hi != 0 ? spec.degree_hi
+                              : std::max<std::uint64_t>(spec.degree * 4, 8),
+          n);
+      return graph::powerlaw_sequence(n, dmax, spec.alpha, rng);
+    }
+    case Family::kBimodal: {
+      const std::uint64_t hi = clamp_deg(
+          spec.degree_hi != 0 ? spec.degree_hi : spec.degree * 3, n);
+      return graph::bimodal_sequence(n, clamp_deg(spec.degree, n), hi);
+    }
+    case Family::kStarHeavy:
+      return graph::star_heavy_sequence(n, spec.degree * n);
+    case Family::kRandomTree:
+      return graph::random_tree_sequence(n, rng);
+    case Family::kTiered:
+      return graph::make_graphic(thresholds_for(spec, n, seed));
+  }
+  DGR_CHECK_MSG(false, "unknown family");
+  return {};
+}
+
+std::vector<std::uint64_t> tree_degrees_for(const ScenarioSpec& spec,
+                                            std::size_t n,
+                                            std::uint64_t seed) {
+  if (spec.family == Family::kRandomTree) {
+    Rng rng(hash_mix(seed, 0xDE62EE5ULL, n));
+    return graph::random_tree_sequence(n, rng);
+  }
+  return graph::make_tree_realizable(degrees_for(spec, n, seed));
+}
+
+std::vector<std::uint64_t> thresholds_for(const ScenarioSpec& spec,
+                                          std::size_t n,
+                                          std::uint64_t seed) {
+  // Cap thresholds low enough that the max-flow validator (O(m * flow) per
+  // sampled pair) stays cheap at harness sizes.
+  const std::uint64_t rmax = std::min<std::uint64_t>(12, n - 1);
+  if (spec.family == Family::kTiered) {
+    const std::size_t n_core = std::max<std::size_t>(2, n / 16);
+    const std::size_t n_relay = n / 4;
+    return graph::tiered_thresholds(
+        n, n_core, std::min<std::uint64_t>(rmax, n - 1), n_relay,
+        std::min<std::uint64_t>(5, rmax), std::min<std::uint64_t>(2, rmax));
+  }
+  std::vector<std::uint64_t> rho = degrees_for(spec, n, seed);
+  for (auto& r : rho) r = std::clamp<std::uint64_t>(r, 1, rmax);
+  return rho;
+}
+
+std::string check_spec(const ScenarioSpec& spec) {
+  if (spec.name.empty()) return "scenario has no name";
+  if (spec.n_sweep.empty()) return "empty n sweep";
+  for (const std::size_t n : spec.n_sweep) {
+    if (n < 8) return "n < 8 leaves no room for waves and trees";
+  }
+  if (spec.capacity_factor < 1 || spec.min_capacity < 1)
+    return "capacity knobs must be >= 1";
+  if (spec.exchange_tokens < 1 || spec.exchange_tokens > 64)
+    return "exchange_tokens outside [1, 64]";
+  for (const auto& e : spec.plan.events) {
+    if (e.loss_permille > 1000) return "loss_permille > 1000";
+    if (e.crash_permille > 1000) return "crash_permille > 1000";
+    if (e.kind == FaultEvent::Kind::kCrashWave && e.stage == Stage::kBuild)
+      return "crash waves during the build stage would stall the wave "
+             "primitives; target the exchange stage";
+    if (e.kind != FaultEvent::Kind::kCrashWave && e.stage == Stage::kBuild &&
+        e.loss_permille > 0)
+      return "link loss during the build stage breaks the fire-and-forget "
+             "primitives; target the exchange stage (reliable transport)";
+  }
+  return {};
+}
+
+}  // namespace dgr::scenario

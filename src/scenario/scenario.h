@@ -1,0 +1,158 @@
+// Declarative scenario specs for the §8 robustness harness.
+//
+// A ScenarioSpec names everything a robustness experiment varies — the
+// degree/threshold family, the n sweep, engine knobs (capacity, overflow
+// policy, NCC0/NCC1 start), and a seeded FaultPlan of timed events (crash
+// waves, loss bursts and ramps, raw drop-probability flips). compile_plan
+// lowers the plan for one concrete (n, seed) into a deterministic
+// per-round action schedule: which slots crash and what the link-loss rate
+// becomes at the start of each round. The orchestrator in runner.cpp
+// replays that schedule through the engine's telemetry hook, so the same
+// spec + seed reproduces the same faults, transcript, and report at any
+// thread count and under either round scheduler.
+//
+// Stages: every run is a build stage (the realization algorithm; it must
+// complete for the output to be validated) followed by an exchange stage
+// (the explicitization for the explicit algorithm, an overlay ping sweep
+// for the others) transported loss/crash-tolerantly (primitives/reliable).
+// Fault events name the stage they target; event rounds are relative to
+// the stage's first round, so one plan applies across algorithms whose
+// build lengths differ.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ncc/config.h"
+#include "ncc/ids.h"
+
+namespace dgr::scenario {
+
+/// Input family: what the per-node demands look like. Degree families feed
+/// the degree/tree algorithms directly; for the connectivity algorithms
+/// the same values are clamped into a threshold vector (and conversely the
+/// threshold families are repaired into graphic sequences), so every
+/// scenario exercises every algorithm on the family's shape.
+enum class Family {
+  kRegular,    ///< (d, d, ..., d)
+  kPowerlaw,   ///< Zipf-ish heavy tail in [1, dmax]
+  kBimodal,    ///< half d_low, half d_high
+  kStarHeavy,  ///< §7 lower-bound family D*(n, m): hubs + zeros
+  kRandomTree, ///< tree-realizable, sum d = 2(n-1)
+  kTiered,     ///< core/relay/edge thresholds (resilient-backbone shape)
+};
+
+/// The five realization algorithms the runner drives.
+enum class Algo {
+  kApproxDegree,    ///< Theorem 13 upper envelope (NCC1: the O~(1) variant)
+  kImplicitDegree,  ///< Algorithm 3 exact implicit realization
+  kExplicitDegree,  ///< Theorem 12: implicit + explicitization exchange
+  kTree,            ///< Algorithm 4/5 tree realization
+  kConnectivity,    ///< §6 thresholds (Theorem 17 NCC1 / Algorithm 6 NCC0)
+};
+
+inline constexpr std::array<Algo, 5> kAllAlgos = {
+    Algo::kApproxDegree, Algo::kImplicitDegree, Algo::kExplicitDegree,
+    Algo::kTree, Algo::kConnectivity};
+
+const char* to_string(Family f);
+const char* to_string(Algo a);
+/// Parses the to_string form; returns false on unknown names.
+bool algo_from_string(const std::string& s, Algo& out);
+
+/// Which stage of a run a fault event targets.
+enum class Stage { kBuild, kExchange };
+
+/// One timed fault event. Rounds are relative to the target stage's first
+/// round. Loss levels are permille (integer, so reports serialize without
+/// floating-point formatting); crash waves name a permille share of the
+/// nodes the plan has not yet crashed.
+struct FaultEvent {
+  enum class Kind {
+    kLossSet,    ///< at_round: drop probability := loss_permille
+    kLossBurst,  ///< at_round..+duration: loss_permille, then back to 0
+    kLossRamp,   ///< linear 0 -> loss_permille over duration, then hold
+    kCrashWave,  ///< at_round: crash crash_permille of surviving nodes
+  };
+  Kind kind = Kind::kLossSet;
+  Stage stage = Stage::kExchange;
+  std::uint64_t at_round = 0;
+  std::uint64_t duration = 0;
+  std::uint32_t loss_permille = 0;
+  std::uint32_t crash_permille = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool crashes(Stage stage) const;
+  bool loses(Stage stage) const;
+  bool empty() const { return events.empty(); }
+};
+
+/// A declarative robustness scenario; see library.h for the named set.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+
+  Family family = Family::kRegular;
+  std::uint64_t degree = 8;     ///< regular d / bimodal low / star-heavy m/n
+  std::uint64_t degree_hi = 0;  ///< powerlaw dmax / bimodal high (0 = derive)
+  double alpha = 2.0;           ///< powerlaw exponent
+
+  std::vector<std::size_t> n_sweep = {48, 96};
+
+  ncc::InitialKnowledge initial = ncc::InitialKnowledge::kPath;
+  ncc::OverflowPolicy overflow = ncc::OverflowPolicy::kBounce;
+  int capacity_factor = 4;
+  int min_capacity = 8;
+  std::uint64_t max_rounds = 500'000;  ///< per-run stall bound
+  bool caterpillar = false;  ///< tree algo: Algorithm 4 (max diameter)
+  /// Exchange-stage ping tokens per stored edge (non-explicit algorithms):
+  /// > 1 stretches the §8 traffic stage across enough rounds for timed
+  /// fault events to land mid-flight instead of after the last ack.
+  std::uint64_t exchange_tokens = 1;
+
+  FaultPlan plan;
+};
+
+/// One round's compiled actions, stage-relative. Applied before the round
+/// with that index executes (round 0 = the stage's first round).
+struct RoundAction {
+  std::uint64_t round = 0;
+  std::int32_t set_loss_permille = -1;  ///< -1 = leave the loss rate alone
+  std::vector<ncc::Slot> crash;         ///< slots to crash, ascending
+};
+
+struct CompiledSchedule {
+  std::vector<RoundAction> build;     ///< sorted by round
+  std::vector<RoundAction> exchange;  ///< sorted by round
+  std::uint32_t planned_crashes = 0;  ///< total slots named across waves
+};
+
+/// Lower the plan for one (n, seed). Crash-wave membership is drawn here
+/// from a stream derived only from (seed, event order), so the schedule —
+/// and everything downstream of it — is a pure function of (spec, n, seed).
+CompiledSchedule compile_plan(const ScenarioSpec& spec, std::size_t n,
+                              std::uint64_t seed);
+
+// --- Per-algorithm input adapters (deterministic in (spec, n, seed)) ----
+
+/// Graphic degree sequence in the spec's family shape.
+std::vector<std::uint64_t> degrees_for(const ScenarioSpec& spec,
+                                       std::size_t n, std::uint64_t seed);
+/// Tree-realizable variant of the family (sum = 2(n-1), all >= 1).
+std::vector<std::uint64_t> tree_degrees_for(const ScenarioSpec& spec,
+                                            std::size_t n,
+                                            std::uint64_t seed);
+/// Connectivity thresholds in the family shape, clamped so the max-flow
+/// validator stays cheap.
+std::vector<std::uint64_t> thresholds_for(const ScenarioSpec& spec,
+                                          std::size_t n, std::uint64_t seed);
+
+/// Spec sanity: empty string when runnable, else a human-readable reason.
+std::string check_spec(const ScenarioSpec& spec);
+
+}  // namespace dgr::scenario

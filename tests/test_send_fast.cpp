@@ -1,0 +1,178 @@
+// The one-word wire-level fast path (Ctx::send1 / send1_id): transcript
+// equivalence with the Message path, learning semantics, and failure
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "ncc/network.h"
+#include "testing.h"
+#include "util/check.h"
+
+namespace dgr {
+namespace {
+
+using ncc::Ctx;
+using ncc::Network;
+
+/// Runs `rounds` rounds of `body` on a fresh net and fingerprints the end
+/// state plus every delivered (tag, word, src) triple.
+struct RunResult {
+  testing::NetFingerprint fp;
+  std::vector<std::uint64_t> seen;
+};
+
+RunResult drive(std::size_t n, unsigned threads, bool clique, int rounds,
+                const std::function<void(Ctx&)>& body) {
+  ncc::Config cfg;
+  cfg.seed = 21;
+  cfg.threads = threads;
+  if (clique) cfg.initial = ncc::InitialKnowledge::kClique;
+  Network net(n, cfg);
+  RunResult out;
+  out.seen.assign(n, 0);
+  for (int r = 0; r < rounds; ++r) {
+    net.round([&](Ctx& ctx) {
+      for (const auto m : ctx.inbox_view()) {
+        out.seen[ctx.slot()] ^=
+            (m.tag() * 0x9E3779B9u) + m.word(0) + m.src();
+      }
+      body(ctx);
+    });
+  }
+  out.fp = testing::net_fingerprint(net);
+  return out;
+}
+
+TEST(SendFast, Send1MatchesMessagePathTranscript) {
+  for (const unsigned threads : {1u, 4u}) {
+    const auto slow = drive(64, threads, /*clique=*/false, 6, [](Ctx& ctx) {
+      const ncc::NodeId succ = ctx.initial_successor();
+      if (succ != ncc::kNoNode)
+        ctx.send(succ, ncc::make_msg(5).push(ctx.slot() * 3 + 1));
+    });
+    const auto fast = drive(64, threads, /*clique=*/false, 6, [](Ctx& ctx) {
+      const ncc::NodeId succ = ctx.initial_successor();
+      if (succ != ncc::kNoNode) ctx.send1(succ, 5, ctx.slot() * 3 + 1);
+    });
+    EXPECT_TRUE(slow.fp == fast.fp) << "threads=" << threads;
+    EXPECT_EQ(slow.seen, fast.seen) << "threads=" << threads;
+  }
+}
+
+TEST(SendFast, Send1IdMatchesPushIdPathAndLearns) {
+  for (const bool clique : {false, true}) {
+    const auto slow = drive(48, 1, clique, 6, [](Ctx& ctx) {
+      const ncc::NodeId succ = ctx.initial_successor();
+      if (succ != ncc::kNoNode)
+        ctx.send(succ, ncc::make_msg(6).push_id(ctx.id()));
+    });
+    const auto fast = drive(48, 1, clique, 6, [](Ctx& ctx) {
+      const ncc::NodeId succ = ctx.initial_successor();
+      if (succ != ncc::kNoNode) ctx.send1_id(succ, 6, ctx.id());
+    });
+    EXPECT_TRUE(slow.fp == fast.fp) << "clique=" << clique;
+    EXPECT_EQ(slow.seen, fast.seen) << "clique=" << clique;
+  }
+}
+
+TEST(SendFast, Send1IdTeachesReceiverTheId) {
+  ncc::Config cfg;
+  cfg.seed = 4;
+  cfg.shuffle_path = false;  // slot s's successor is slot s+1
+  Network net(8, cfg);
+  // Slot 0 forwards its own ID to slot 1; slot 1 then knows it and can
+  // send back — pure KT0 mechanics over the fast path.
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() == 0) ctx.send1_id(ctx.initial_successor(), 1, ctx.id());
+  });
+  bool replied = false;
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() != 1) return;
+    for (const auto m : ctx.inbox_view()) {
+      EXPECT_TRUE(ctx.knows(m.id_word(0)));
+      ctx.send1(m.id_word(0), 2, 99);
+      replied = true;
+    }
+  });
+  EXPECT_TRUE(replied);
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+}
+
+TEST(SendFast, Send1DiagnosticsMatchSendChecks) {
+  ncc::Config cfg;
+  cfg.seed = 4;
+  cfg.shuffle_path = false;
+  Network net(8, cfg);
+  // KT0 violation: slot 0 does not know slot 5's ID.
+  EXPECT_THROW(net.round([&](Ctx& ctx) {
+                 if (ctx.slot() == 0) ctx.send1(net.id_of(5), 1, 0);
+               }),
+               CheckError);
+  // Unknown forwarded ID.
+  EXPECT_THROW(net.round([&](Ctx& ctx) {
+                 if (ctx.slot() == 0)
+                   ctx.send1_id(ctx.initial_successor(), 1, net.id_of(6));
+               }),
+               CheckError);
+  // Null destination.
+  EXPECT_THROW(net.round([&](Ctx& ctx) {
+                 if (ctx.slot() == 0) ctx.send1(ncc::kNoNode, 1, 0);
+               }),
+               CheckError);
+  // Capacity exhaustion, with the same diagnostic as the Message path.
+  try {
+    net.round([&](Ctx& ctx) {
+      if (ctx.slot() != 0) return;
+      for (int i = 0; i <= net.capacity(); ++i)
+        ctx.send1(ctx.initial_successor(), 1, i);
+    });
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("send capacity exceeded"),
+              std::string::npos);
+  }
+  // A caught failure leaves no transcript trace: the next round is clean.
+  net.round([](Ctx&) {});
+}
+
+TEST(SendFast, Send1IdRejectsNullIdOnCliqueLikeSend) {
+  // On a clique, common knowledge covers every real ID — but kNoNode is
+  // rejected by send()'s forwarded-ID loop, and send1_id must match.
+  ncc::Config cfg;
+  cfg.seed = 8;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  Network net(8, cfg);
+  const ncc::NodeId peer = net.id_of(1);
+  EXPECT_THROW(net.round([&](Ctx& ctx) {
+                 if (ctx.slot() == 0)
+                   ctx.send(peer, ncc::make_msg(1).push_id(ncc::kNoNode));
+               }),
+               CheckError);
+  EXPECT_THROW(net.round([&](Ctx& ctx) {
+                 if (ctx.slot() == 0) ctx.send1_id(peer, 1, ncc::kNoNode);
+               }),
+               CheckError);
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+TEST(SendFast, RejectedSend1LeavesNoTrace) {
+  ncc::Config cfg;
+  cfg.seed = 4;
+  cfg.shuffle_path = false;
+  Network net(8, cfg);
+  net.round([&](Ctx& ctx) {
+    if (ctx.slot() != 0) return;
+    try {
+      ctx.send1(net.id_of(5), 3, 1);  // KT0 violation, caught in-body
+    } catch (const CheckError&) {
+    }
+    ctx.send1(ctx.initial_successor(), 4, 2);  // the only surviving send
+  });
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+}  // namespace
+}  // namespace dgr
