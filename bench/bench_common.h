@@ -10,7 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <thread>
 
 #include "ncc/config.h"
 #include "ncc/network.h"
@@ -35,6 +38,34 @@ inline double capacity_of(std::size_t n) {
   const int lg = dgr::ceil_log2(n < 2 ? 2 : n);
   const int cap = cfg.capacity_factor * lg;
   return static_cast<double>(cap < cfg.min_capacity ? cfg.min_capacity : cap);
+}
+
+/// Thread-occupancy reporting: every thread-sweeping benchmark calls this
+/// with the worker-thread demand it is about to impose. When that demand
+/// exceeds the machine's hardware concurrency the numbers are wall-clock
+/// lies-in-waiting (threads time-share cores), so degrade LOUDLY: print a
+/// one-time stderr warning and record "oversubscribed": 1 as a counter —
+/// custom counters land in --benchmark_out JSON, so committed baselines
+/// carry the flag and a reviewer can tell a degraded run from a real one.
+inline void report_thread_occupancy(benchmark::State& state,
+                                    unsigned threads) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool over = hw != 0 && threads > hw;
+  // Plain counters (no per-iteration averaging): these are properties of
+  // the run, not rates.
+  state.counters["threads"] = benchmark::Counter(static_cast<double>(threads));
+  state.counters["oversubscribed"] = benchmark::Counter(over ? 1.0 : 0.0);
+  if (over) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "WARNING: benchmark requests %u worker threads but the "
+                   "machine has %u hardware threads — timings are "
+                   "oversubscribed (flagged \"oversubscribed\": 1 in the "
+                   "emitted JSON)\n",
+                   threads, hw);
+    }
+  }
 }
 
 inline void report_rounds(benchmark::State& state, double rounds,

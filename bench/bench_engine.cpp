@@ -49,6 +49,8 @@ ncc::Config engine_cfg(unsigned threads) {
 
 void report_throughput(benchmark::State& state, const ncc::Network& net,
                        std::uint64_t rounds0, std::uint64_t msgs0) {
+  // Thread demand is arg 1 in every engine sweep; flag oversubscribed runs.
+  report_thread_occupancy(state, static_cast<unsigned>(state.range(1)));
   const auto rounds = static_cast<double>(net.stats().rounds - rounds0);
   const auto msgs = static_cast<double>(net.stats().messages_sent - msgs0);
   state.counters["rounds/s"] =

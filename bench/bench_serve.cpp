@@ -1,0 +1,153 @@
+// Serving-stack benchmarks: request latency and throughput through the
+// RealizationService (submit -> admission -> batch -> cold run or cache
+// hit -> future resolution).
+//
+//   ColdLatency — every request is a fresh key (the seed advances each
+//                 iteration), so each measures the full cold path: queue,
+//                 driver pickup, Network simulation, validation, caching.
+//   HitLatency  — one key, permuted degrees each iteration; after the
+//                 (untimed) priming run every request is a submit-time
+//                 cache hit. The committed BENCH_serve.json must show this
+//                 path >= 10x faster than ColdLatency at the same n — the
+//                 PR's headline acceptance number.
+//   WarmThroughput — a wave of requests over k families per iteration,
+//                 concurrent drivers, warm cache: steady-state requests/s
+//                 plus the service's batching/coalescing counters.
+//
+// Counters include "oversubscribed" (bench_common.h) with the driver
+// thread demand, since serve benches spin drivers on top of the timing
+// thread.
+#include <future>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "serve/service.h"
+#include "util/rng.h"
+
+namespace dgr::bench {
+namespace {
+
+std::vector<std::uint64_t> family(std::size_t n, std::uint64_t seed) {
+  Rng rng(hash_mix(seed, 0xFA711));
+  return graph::gnp_sequence(n, 0.3, rng);
+}
+
+void BM_ServeColdLatency(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  serve::ServiceConfig cfg;
+  cfg.drivers = 1;
+  cfg.net_threads = 1;
+  // Every request is distinct; keep them all resident so the bench never
+  // measures eviction noise.
+  cfg.cache_capacity = 1 << 20;
+  serve::RealizationService service(cfg);
+  const auto degrees = family(n, 1);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    serve::Request req;
+    req.degrees = degrees;
+    req.seed = ++seed;  // fresh key -> guaranteed cold run
+    const auto result = service.submit(std::move(req)).get();
+    benchmark::DoNotOptimize(result->edges.data());
+  }
+  report_thread_occupancy(state, cfg.drivers);
+  state.counters["cold_runs"] = benchmark::Counter(
+      static_cast<double>(service.stats().cold_runs),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ServeHitLatency(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  serve::ServiceConfig cfg;
+  cfg.drivers = 1;
+  cfg.net_threads = 1;
+  serve::RealizationService service(cfg);
+  const auto degrees = family(n, 1);
+  {
+    serve::Request prime;
+    prime.degrees = degrees;
+    service.submit(std::move(prime)).get();  // untimed cold run
+  }
+  // Pre-permuted copies so the timed loop measures canonicalize + probe +
+  // resolve, not benchmark-side shuffling.
+  Rng rng(7);
+  std::vector<std::vector<std::uint64_t>> permuted(16, degrees);
+  for (auto& p : permuted) rng.shuffle(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    serve::Request req;
+    req.degrees = permuted[i++ % permuted.size()];
+    const auto result = service.submit(std::move(req)).get();
+    benchmark::DoNotOptimize(result->edges.data());
+  }
+  report_thread_occupancy(state, cfg.drivers);
+  state.counters["hits"] = benchmark::Counter(
+      static_cast<double>(service.stats().submit_hits),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ServeWarmThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto drivers = static_cast<unsigned>(state.range(1));
+  constexpr std::size_t kFamilies = 4;
+  constexpr std::size_t kWave = 32;
+  serve::ServiceConfig cfg;
+  cfg.drivers = drivers;
+  cfg.net_threads = 1;
+  serve::RealizationService service(cfg);
+
+  std::vector<std::vector<std::uint64_t>> families;
+  for (std::size_t k = 0; k < kFamilies; ++k)
+    families.push_back(family(n, k + 1));
+  Rng rng(7);
+
+  for (auto _ : state) {
+    std::vector<std::future<serve::RealizationService::Result>> wave;
+    wave.reserve(kWave);
+    for (std::size_t r = 0; r < kWave; ++r) {
+      serve::Request req;
+      req.degrees = families[r % kFamilies];
+      rng.shuffle(req.degrees);
+      wave.push_back(service.submit(std::move(req)));
+    }
+    for (auto& f : wave) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWave));
+  report_thread_occupancy(state, drivers);
+  const auto st = service.stats();
+  state.counters["batches"] = benchmark::Counter(
+      static_cast<double>(st.batches), benchmark::Counter::kIsRate);
+  state.counters["coalesced"] = benchmark::Counter(
+      static_cast<double>(st.coalesced), benchmark::Counter::kIsRate);
+  state.counters["hit_share"] = benchmark::Counter(
+      st.completed
+          ? static_cast<double>(st.submit_hits + st.run_hits + st.coalesced) /
+                static_cast<double>(st.completed)
+          : 0.0,
+      benchmark::Counter::kAvgIterations);
+}
+
+void ServeLatencyArgs(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {64, 256, 1024}) b->Args({n});
+  b->ArgNames({"n"});
+}
+
+void ServeThroughputArgs(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {64, 256}) {
+    for (std::int64_t drivers : {1, 2, 4}) b->Args({n, drivers});
+  }
+  b->ArgNames({"n", "drivers"});
+}
+
+BENCHMARK(BM_ServeColdLatency)->Apply(ServeLatencyArgs)->UseRealTime();
+BENCHMARK(BM_ServeHitLatency)->Apply(ServeLatencyArgs)->UseRealTime();
+BENCHMARK(BM_ServeWarmThroughput)
+    ->Apply(ServeThroughputArgs)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dgr::bench
+
+BENCHMARK_MAIN();

@@ -3,9 +3,10 @@
 #
 #   bench/export_bench_json.sh [build-dir] [min-time-seconds]
 #
-# Runs the raw round-engine benchmarks (bench_engine) and the §3-primitives
-# benchmarks (bench_primitives) with JSON output and writes
-# BENCH_engine.json / BENCH_primitives.json next to this repo's README.
+# Runs the raw round-engine benchmarks (bench_engine), the §3-primitives
+# benchmarks (bench_primitives), and the serving-stack benchmarks
+# (bench_serve) with JSON output and writes BENCH_engine.json /
+# BENCH_primitives.json / BENCH_serve.json next to this repo's README.
 # Future PRs that touch the engine datapath or the primitives should re-run
 # this on comparable hardware and eyeball the messages/s (engine) and
 # real_time (primitives) counters against the committed baselines — see
@@ -36,3 +37,4 @@ run_bench() {
 
 run_bench bench_engine BENCH_engine.json
 run_bench bench_primitives BENCH_primitives.json
+run_bench bench_serve BENCH_serve.json

@@ -2,15 +2,19 @@
 //
 //   dgr_scenarios list
 //   dgr_scenarios run [--scenario=a,b,...] [--algos=implicit,tree,...]
-//                     [--n=32,64,...] [--threads=N] [--seed=N] [--dense]
-//                     [--json=path] [--csv=path] [--no-intervals] [--quiet]
+//                     [--n=32,64,...] [--threads=N] [--jobs=N] [--seed=N]
+//                     [--dense] [--json=path] [--csv=path] [--no-intervals]
+//                     [--progress] [--quiet]
 //
 // `run` executes the named scenarios (default: the whole built-in library)
 // across the selected realization algorithms and n sweep, validates every
 // completed output against realization/validate, prints one summary table
 // per scenario, and optionally writes the deterministic JSON/CSV report
-// (same seed => byte-identical file at any --threads and with/without
-// --dense). Exit code 0 iff every run validated.
+// (same seed => byte-identical file at any --threads, any --jobs, and
+// with/without --dense). --jobs=N runs the matrix N-way concurrent on the
+// process-wide executor; --progress prints one whole line per completed
+// run (the runner serializes the callback, so lines never interleave).
+// Exit code 0 iff every run validated.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -38,9 +42,10 @@ int usage() {
   std::cerr
       << "usage: dgr_scenarios list\n"
          "       dgr_scenarios run [--scenario=a,b,...] [--algos=csv]\n"
-         "                         [--n=csv] [--threads=N] [--seed=N]\n"
-         "                         [--dense] [--json=path] [--csv=path]\n"
-         "                         [--no-intervals] [--quiet]\n";
+         "                         [--n=csv] [--threads=N] [--jobs=N]\n"
+         "                         [--seed=N] [--dense] [--json=path]\n"
+         "                         [--csv=path] [--no-intervals]\n"
+         "                         [--progress] [--quiet]\n";
   return 2;
 }
 
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string csv_path;
   bool quiet = false;
+  bool progress = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -114,6 +120,9 @@ int main(int argc, char** argv) {
     } else if (starts("--threads=")) {
       opt.threads = static_cast<unsigned>(
           std::strtoul(a.c_str() + 10, nullptr, 10));
+    } else if (starts("--jobs=")) {
+      opt.jobs = static_cast<unsigned>(
+          std::strtoul(a.c_str() + 7, nullptr, 10));
     } else if (starts("--seed=")) {
       opt.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
     } else if (a == "--dense") {
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
       csv_path = a.substr(6);
     } else if (a == "--no-intervals") {
       opt.keep_intervals = false;
+    } else if (a == "--progress") {
+      progress = true;
     } else if (a == "--quiet") {
       quiet = true;
     } else {
@@ -132,6 +143,21 @@ int main(int argc, char** argv) {
     }
   }
   if (specs.empty()) specs = dgr::scenario::builtin_scenarios();
+
+  if (progress) {
+    // One fully-formed line per completed run. The runner already
+    // serializes progress callbacks, so concurrent jobs cannot interleave
+    // output; building the line in one string and writing it in a single
+    // insertion keeps it whole even if other stderr writers exist.
+    opt.progress = [](std::size_t done, std::size_t total,
+                      const dgr::scenario::RunRecord& r) {
+      std::ostringstream line;
+      line << "[" << done << "/" << total << "] " << r.scenario << " / "
+           << r.algo << " / n=" << r.n << ": " << r.outcome
+           << (r.validated ? "" : " (NOT VALIDATED)") << "\n";
+      std::cerr << line.str();
+    };
+  }
 
   const auto report = dgr::scenario::run_matrix(specs, opt);
 

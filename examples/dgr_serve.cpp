@@ -1,0 +1,181 @@
+// dgr_serve — drive the RealizationService with a synthetic request trace.
+//
+//   dgr_serve [--requests=N] [--distinct=K] [--n=M] [--seed=S]
+//             [--drivers=D] [--net-threads=T] [--batch-max=B]
+//             [--cache=C] [--queue=Q] [--require-hits=H] [--quiet]
+//
+// The trace models a realistic serving mix: K distinct graphic degree
+// sequences (G(n, p) samples at varying p), requested N times in waves,
+// each repeat under a fresh random PERMUTATION of the degrees. Since the
+// service canonicalizes, permuted repeats are cache hits — the trace
+// exercises admission, batching, cold runs, canonicalization, and the hit
+// path all at once.
+//
+// Every response is checked: the service must report it validated, and
+// repeats must be byte-identical to the first answer for their sequence
+// (the cache-hit == cold-run contract). Exit code 0 iff all requests
+// validated AND the service recorded at least --require-hits cache hits
+// (default 1), so the binary doubles as the CI serve smoke.
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/service.h"
+#include "util/rng.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: dgr_serve [--requests=N] [--distinct=K] [--n=M]\n"
+               "                 [--seed=S] [--drivers=D] [--net-threads=T]\n"
+               "                 [--batch-max=B] [--cache=C] [--queue=Q]\n"
+               "                 [--require-hits=H] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 64;
+  std::size_t distinct = 8;
+  std::size_t n = 64;
+  std::uint64_t seed = 1;
+  std::uint64_t require_hits = 1;
+  dgr::serve::ServiceConfig cfg;
+  cfg.drivers = 4;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto starts = [&](const char* p) { return a.rfind(p, 0) == 0; };
+    auto num = [&](std::size_t skip) {
+      return std::strtoull(a.c_str() + skip, nullptr, 10);
+    };
+    if (starts("--requests=")) {
+      requests = num(11);
+    } else if (starts("--distinct=")) {
+      distinct = num(11);
+    } else if (starts("--n=")) {
+      n = num(4);
+    } else if (starts("--seed=")) {
+      seed = num(7);
+    } else if (starts("--drivers=")) {
+      cfg.drivers = static_cast<unsigned>(num(10));
+    } else if (starts("--net-threads=")) {
+      cfg.net_threads = static_cast<unsigned>(num(14));
+    } else if (starts("--batch-max=")) {
+      cfg.batch_max = num(12);
+    } else if (starts("--cache=")) {
+      cfg.cache_capacity = num(8);
+    } else if (starts("--queue=")) {
+      cfg.queue_capacity = num(8);
+    } else if (starts("--require-hits=")) {
+      require_hits = num(15);
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return usage();
+    }
+  }
+  if (requests == 0 || distinct == 0 || n < 2) return usage();
+
+  dgr::Rng rng(dgr::hash_mix(seed, 0x5E27E));
+
+  // K distinct graphic sequences at spread-out densities.
+  std::vector<std::vector<std::uint64_t>> families;
+  families.reserve(distinct);
+  for (std::size_t k = 0; k < distinct; ++k) {
+    const double p = 0.1 + 0.8 * static_cast<double>(k) /
+                               static_cast<double>(std::max<std::size_t>(
+                                   distinct - 1, 1));
+    families.push_back(dgr::graph::gnp_sequence(n, p, rng));
+  }
+
+  dgr::serve::RealizationService service(cfg);
+
+  // Submit the whole trace: wave after wave over the families, each
+  // request a fresh permutation of its family's degrees.
+  std::vector<std::future<dgr::serve::RealizationService::Result>> futures;
+  futures.reserve(requests);
+  std::vector<std::size_t> family_of;
+  family_of.reserve(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::size_t k = r % distinct;
+    dgr::serve::Request req;
+    req.degrees = families[k];
+    std::shuffle(req.degrees.begin(), req.degrees.end(), rng);
+    req.seed = dgr::hash_mix(seed, k);  // per-family seed, stable per family
+    futures.push_back(service.submit(std::move(req)));
+    family_of.push_back(k);
+  }
+
+  // Collect and cross-check: all validated, and every repeat of a family
+  // byte-identical to the family's first answer.
+  std::size_t failed = 0;
+  std::map<std::size_t, dgr::serve::Realization> first_answer;
+  for (std::size_t r = 0; r < requests; ++r) {
+    const auto result = futures[r].get();
+    if (!result->validated) {
+      ++failed;
+      std::cerr << "FAIL request " << r << " (family " << family_of[r]
+                << "): " << result->message << "\n";
+      continue;
+    }
+    auto [it, inserted] = first_answer.emplace(family_of[r], *result);
+    if (!inserted && !(it->second == *result)) {
+      ++failed;
+      std::cerr << "FAIL request " << r << ": repeat answer diverged from "
+                   "first answer for family "
+                << family_of[r] << "\n";
+    }
+  }
+
+  // Warm wave: with every family now resident, one more permuted request
+  // per family must be answered straight from the cache at submit time —
+  // the steady-state serving path, and the smoke's guaranteed hits.
+  for (std::size_t k = 0; k < distinct && k < requests; ++k) {
+    dgr::serve::Request req;
+    req.degrees = families[k];
+    std::shuffle(req.degrees.begin(), req.degrees.end(), rng);
+    req.seed = dgr::hash_mix(seed, k);
+    const auto result = service.submit(std::move(req)).get();
+    if (!result->validated || !(first_answer.at(k) == *result)) {
+      ++failed;
+      std::cerr << "FAIL warm request for family " << k
+                << ": not byte-identical to the cold answer\n";
+    }
+  }
+
+  const auto st = service.stats();
+  const auto cs = service.cache_stats();
+  const std::uint64_t hits = st.submit_hits + st.run_hits;
+  if (!quiet) {
+    std::ostringstream out;
+    out << "requests:   " << st.submitted << " submitted, " << st.completed
+        << " completed, " << failed << " failed\n"
+        << "cache:      " << hits << " hits (" << st.submit_hits
+        << " at submit, " << st.run_hits << " at run), " << st.cold_runs
+        << " cold runs, " << cs.evictions << " evictions, " << cs.size << "/"
+        << cs.capacity << " resident\n"
+        << "batching:   " << st.batches << " batches, "
+        << st.batched_requests << " requests batched, max batch "
+        << st.max_batch << ", " << st.coalesced << " coalesced, "
+        << st.admission_waits << " admission waits\n";
+    std::cout << out.str();
+  }
+
+  if (failed != 0) return 1;
+  if (hits < require_hits) {
+    std::cerr << "expected >= " << require_hits << " cache hits, saw "
+              << hits << "\n";
+    return 1;
+  }
+  return 0;
+}

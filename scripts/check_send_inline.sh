@@ -13,7 +13,10 @@
 #
 #   usage: check_send_inline.sh <binary> [<binary> ...]
 #
-# Exits non-zero if any binary defines a Ctx::send* symbol.
+# Exits non-zero if any binary defines a Ctx::send* symbol. CI runs it over
+# the bench binaries AND the serving stack (bench_serve, dgr_serve): the
+# service cold-runs Networks through the same send hot path, so an inline
+# regression there would silently skew the committed serve baselines.
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then

@@ -43,11 +43,14 @@ struct Config {
   std::size_t max_rounds = 5'000'000;
 
   /// Worker threads for the per-node round body (1 = serial; effective
-  /// count is min(threads, n)). Threads > 1 starts a persistent pool owned
-  /// by the Network on the first round — workers park on a round barrier
-  /// between rounds, so there is no per-round spawn/join cost. Each worker
-  /// owns a fixed slot slice and a private outbox arena; transcripts are
-  /// bit-for-bit identical for any thread count.
+  /// count is min(threads, n)). Threads > 1 registers the Network with the
+  /// process-wide Executor (ncc/executor.h), which lazily starts shared
+  /// workers on the first parallel round — workers park between rounds, so
+  /// there is no per-round spawn/join cost, and concurrent Networks share
+  /// one pool. The cap is honored via slice partitioning: each round is
+  /// dispatched as `threads` tasks, task t covering a fixed slot slice and
+  /// a private outbox arena; transcripts are bit-for-bit identical for any
+  /// thread count and any number of concurrently-running networks.
   unsigned threads = 1;
 
   /// Independent per-message loss probability (0 = reliable links, the

@@ -1,0 +1,190 @@
+#include "ncc/executor.h"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dgr::ncc {
+
+namespace {
+/// Hard ceiling on pooled workers — a backstop against a runaway lease
+/// width, far above any sane per-client Config::threads. The pool is sized
+/// by demand (widest dispatching lease), not by hardware_concurrency():
+/// oversubscription is the client's call (and the bench harness warns about
+/// it loudly); silently capping here would change worker-count-dependent
+/// behavior the old per-Network pool never had.
+constexpr unsigned kMaxPoolThreads = 256;
+}  // namespace
+
+/// One parallel-for in flight. Stack-allocated by run(); the queue holds a
+/// raw pointer only while unclaimed tasks remain, and run() does not return
+/// until done == count, so the pointer never outlives the frame.
+struct Executor::Job {
+  void* ctx = nullptr;
+  TaskFn fn = nullptr;
+  std::size_t count = 0;
+  std::size_t next = 0;  // tasks claimed (guarded by Impl::mu)
+  std::size_t done = 0;  // tasks finished (guarded by Impl::mu)
+  std::exception_ptr error;
+  std::condition_variable cv_done;
+};
+
+struct Executor::Impl {
+  mutable std::mutex mu;
+  std::condition_variable cv_work;
+  std::vector<std::thread> threads;
+  std::deque<Job*> queue;  // jobs with unclaimed tasks, FIFO
+  bool stop = false;
+  unsigned clients = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t caller_tasks = 0;
+
+  /// Pop `job` from the queue once its last task is claimed. The claimer
+  /// holding the lock does this, so a fully-claimed job is never visible to
+  /// workers.
+  void unqueue(Job* job) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (*it == job) {
+        queue.erase(it);
+        return;
+      }
+    }
+  }
+
+  static void execute(Job* job, std::size_t index, std::mutex& mu) {
+    std::exception_ptr err;
+    try {
+      job->fn(job->ctx, index);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      std::scoped_lock lk(mu);
+      if (!job->error) job->error = err;
+    }
+  }
+
+  void worker_main() {
+    std::unique_lock lk(mu);
+    for (;;) {
+      cv_work.wait(lk, [&] { return stop || !queue.empty(); });
+      if (stop) return;
+      Job* job = queue.front();
+      const std::size_t i = job->next++;
+      if (job->next >= job->count) queue.pop_front();
+      lk.unlock();
+      execute(job, i, mu);
+      lk.lock();
+      ++tasks;
+      if (++job->done == job->count) job->cv_done.notify_all();
+    }
+  }
+
+  /// Grow the pool to `need` workers (caller holds mu).
+  void ensure_workers(unsigned need) {
+    if (need > kMaxPoolThreads) need = kMaxPoolThreads;
+    while (threads.size() < need) {
+      threads.emplace_back([this] { worker_main(); });
+    }
+  }
+};
+
+Executor::Executor() : impl_(new Impl) {}
+
+Executor::~Executor() {
+  {
+    std::scoped_lock lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& th : impl_->threads) th.join();
+  delete impl_;
+}
+
+Executor& Executor::instance() {
+  // Function-local static: started on first use, joined after main() exits
+  // — later than any Network/Service destructor in well-formed programs.
+  static Executor exec;
+  return exec;
+}
+
+Executor::Lease Executor::lease(unsigned width) {
+  if (width == 0) width = 1;
+  std::scoped_lock lk(impl_->mu);
+  ++impl_->clients;
+  return Lease(this, width);
+}
+
+void Executor::Lease::release() {
+  if (!exec_) return;
+  std::scoped_lock lk(exec_->impl_->mu);
+  --exec_->impl_->clients;
+  exec_ = nullptr;
+}
+
+void Executor::run(const Lease& lease, std::size_t count, void* ctx,
+                   TaskFn fn) {
+  DGR_CHECK_MSG(lease.exec_ == this,
+                "Executor::run with a lease from a different executor");
+  if (count == 0) return;
+  if (count == 1) {
+    fn(ctx, 0);
+    return;
+  }
+
+  Job job;
+  job.ctx = ctx;
+  job.fn = fn;
+  job.count = count;
+  Impl& im = *impl_;
+  {
+    std::scoped_lock lk(im.mu);
+    // Workers the job can use beyond the caller itself; sized by the
+    // lease's width so a narrow client never forces a wide pool.
+    const std::size_t want =
+        (count < lease.width_ ? count : std::size_t{lease.width_}) - 1;
+    im.ensure_workers(static_cast<unsigned>(want));
+    ++im.jobs;
+    im.queue.push_back(&job);
+  }
+  im.cv_work.notify_all();
+
+  // The caller claims tasks from its OWN job until none remain — guaranteed
+  // forward progress even if every pooled worker is busy elsewhere (and the
+  // reason nested run() calls cannot deadlock).
+  std::unique_lock lk(im.mu);
+  while (job.next < job.count) {
+    const std::size_t i = job.next++;
+    if (job.next >= job.count) im.unqueue(&job);
+    lk.unlock();
+    Impl::execute(&job, i, im.mu);
+    lk.lock();
+    ++im.tasks;
+    ++im.caller_tasks;
+    ++job.done;
+  }
+  job.cv_done.wait(lk, [&] { return job.done == job.count; });
+  const std::exception_ptr err = job.error;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+Executor::Stats Executor::stats() const {
+  std::scoped_lock lk(impl_->mu);
+  Stats st;
+  st.jobs = impl_->jobs;
+  st.tasks = impl_->tasks;
+  st.caller_tasks = impl_->caller_tasks;
+  st.worker_tasks = impl_->tasks - impl_->caller_tasks;
+  st.workers = static_cast<unsigned>(impl_->threads.size());
+  st.clients = impl_->clients;
+  return st;
+}
+
+}  // namespace dgr::ncc

@@ -1,0 +1,123 @@
+// Process-wide round-body executor (realization-as-a-service substrate).
+//
+// Before this layer existed every Network owned its own persistent worker
+// pool, so N concurrent simulations meant N idle pools' worth of threads
+// and there was no way to schedule independent simulations over one set of
+// cores. The Executor pulls that pool out of Network into a lazily-started
+// process-wide service:
+//
+//   - Clients (a Network, the scenario Runner, the RealizationService)
+//     register by acquiring a Lease whose width says how many tasks wide
+//     their jobs run. The pool grows lazily to the widest lease actually
+//     dispatching, and never shrinks until process exit.
+//   - A job is a parallel-for: `count` independent tasks fn(ctx, 0..count-1).
+//     Tasks are claimed dynamically, but WHAT runs is a pure function of the
+//     task index — a Network maps index i to its contiguous slot slice i and
+//     outbox arena i — so scheduling freedom never touches transcripts: the
+//     engine's determinism contract (per-arena outbox concatenation in
+//     global slot order) is preserved for any pool size, any claim order,
+//     and any number of concurrently-running client jobs.
+//   - The submitting thread always participates in its own job, claiming
+//     tasks until none remain and then waiting for stragglers. A job
+//     therefore completes even when every pooled worker is busy with other
+//     clients' work, which makes nested submission (a Runner job whose
+//     run_one drives a multi-threaded Network) deadlock-free by
+//     construction.
+//
+// Exception contract (same as the old per-Network pool): every task of a
+// job is claimed and executed even after a failure; the first exception
+// observed is rethrown on the submitting thread once the job drains.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace dgr::ncc {
+
+class Executor {
+ public:
+  /// Observability snapshot (monotone process-lifetime counters).
+  struct Stats {
+    std::uint64_t jobs = 0;          ///< pool-path run() calls
+    std::uint64_t tasks = 0;         ///< tasks executed via the pool path
+    std::uint64_t caller_tasks = 0;  ///< ... on the submitting thread
+    std::uint64_t worker_tasks = 0;  ///< ... on pooled workers
+    unsigned workers = 0;            ///< threads currently started
+    unsigned clients = 0;            ///< live leases
+  };
+
+  /// A client registration: holds the width (max tasks per job) this client
+  /// dispatches at. Movable, releases on destruction. A default-constructed
+  /// Lease is empty and may not be used with run().
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { release(); }
+    Lease(Lease&& o) noexcept : exec_(o.exec_), width_(o.width_) {
+      o.exec_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        exec_ = o.exec_;
+        width_ = o.width_;
+        o.exec_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    unsigned width() const { return width_; }
+    explicit operator bool() const { return exec_ != nullptr; }
+    void release();
+
+   private:
+    friend class Executor;
+    Lease(Executor* e, unsigned width) : exec_(e), width_(width) {}
+    Executor* exec_ = nullptr;
+    unsigned width_ = 0;
+  };
+
+  /// The process-wide instance (workers started lazily on first wide job).
+  static Executor& instance();
+
+  /// Register a client that dispatches jobs up to `width` tasks wide
+  /// (width 0 is clamped to 1). Cheap; threads start only when a job needs
+  /// them.
+  Lease lease(unsigned width);
+
+  using TaskFn = void (*)(void* ctx, std::size_t index);
+
+  /// Run fn(ctx, i) for i in [0, count); blocks until every task finished.
+  /// The calling thread participates. Rethrows the first task exception
+  /// after the job drains. `lease` must belong to this executor; a job is
+  /// never wider than the lease (count above the width still runs — width
+  /// only caps how many pooled workers the job may occupy).
+  void run(const Lease& lease, std::size_t count, void* ctx, TaskFn fn);
+
+  /// Type-safe wrapper: f(std::size_t index).
+  template <typename F>
+  void parallel_for(const Lease& lease, std::size_t count, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    run(lease, count, const_cast<void*>(static_cast<const void*>(&f)),
+        [](void* c, std::size_t i) { (*static_cast<Fn*>(c))(i); });
+  }
+
+  Stats stats() const;
+
+  // Public constructor so tests can exercise a private pool; production
+  // code uses instance().
+  Executor();
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+ private:
+  struct Job;
+  struct Impl;
+  Impl* impl_;  // raw pimpl: executor.h stays light for network.h
+};
+
+}  // namespace dgr::ncc

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <bit>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <iterator>
-#include <mutex>
 #include <numeric>
-#include <thread>
 
+#include "ncc/executor.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -83,105 +81,6 @@ void sorted_union_into(std::vector<Slot>& dst, const std::vector<Slot>& src,
 
 }  // namespace
 
-// ----------------------------------------------------------- WorkerPool ----
-
-// Persistent round-body workers, woken by a generation barrier. The pool
-// owns threads for slices 1..threads_-1; the caller's thread always runs
-// slice 0, so threads_ == 1 never touches the pool at all. Worker t reads
-// its slice bounds from net.worker_span_[t] each round (execute_round
-// writes them before kick() publishes the generation): dense rounds slice
-// the slot range, active rounds slice the sorted active list. Either way
-// the slices are contiguous and ascending, so the slice -> outbox-arena
-// mapping keeps arena concatenation in global slot order — the determinism
-// contract; see deliver().
-struct Network::WorkerPool {
-  WorkerPool(Network& net, unsigned nworkers) : net_(net) {
-    threads_.reserve(nworkers);
-    for (unsigned t = 1; t <= nworkers; ++t) {
-      threads_.emplace_back([this, t] { worker_main(t); });
-    }
-  }
-
-  ~WorkerPool() {
-    {
-      std::scoped_lock lk(mu_);
-      stop_ = true;
-    }
-    cv_work_.notify_all();
-    for (auto& th : threads_) th.join();
-  }
-
-  /// Publish one round of work to every worker; returns immediately.
-  /// Pair with wait().
-  void kick(void* body, RoundThunk thunk, unsigned nworkers) {
-    {
-      std::scoped_lock lk(mu_);
-      body_ = body;
-      thunk_ = thunk;
-      pending_ = nworkers;
-      error_ = nullptr;
-      ++generation_;
-    }
-    cv_work_.notify_all();
-  }
-
-  /// Block until every worker finished the current round; rethrows the
-  /// first body exception observed on a worker thread.
-  void wait() {
-    std::exception_ptr err;
-    {
-      std::unique_lock lk(mu_);
-      cv_done_.wait(lk, [&] { return pending_ == 0; });
-      err = error_;
-      error_ = nullptr;
-    }
-    if (err) std::rethrow_exception(err);
-  }
-
- private:
-  void worker_main(unsigned t) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      void* body = nullptr;
-      RoundThunk thunk = nullptr;
-      std::size_t lo = 0;
-      std::size_t hi = 0;
-      {
-        std::unique_lock lk(mu_);
-        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-        body = body_;
-        thunk = thunk_;
-        lo = net_.worker_span_[t].first;
-        hi = net_.worker_span_[t].second;
-      }
-      try {
-        net_.run_slots(lo, hi, t, body, thunk);
-      } catch (...) {
-        std::scoped_lock lk(mu_);
-        if (!error_) error_ = std::current_exception();
-      }
-      {
-        std::scoped_lock lk(mu_);
-        if (--pending_ == 0) cv_done_.notify_one();
-      }
-    }
-  }
-
-  Network& net_;
-  std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  unsigned pending_ = 0;
-  bool stop_ = false;
-  void* body_ = nullptr;
-  RoundThunk thunk_ = nullptr;
-  std::exception_ptr error_;
-};
-
 // ------------------------------------------------------------ Network ----
 
 Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
@@ -190,6 +89,10 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
                        cfg_.capacity_factor * ceil_log2(std::max<std::size_t>(n, 2)));
   threads_ = std::min<unsigned>(std::max(1u, cfg_.threads),
                                 static_cast<unsigned>(n_));
+  // Single-threaded networks never touch the executor at all; everyone
+  // else registers up front so the lease width (the Config::threads cap)
+  // is fixed for the network's lifetime.
+  if (threads_ > 1) lease_ = Executor::instance().lease(threads_);
 
   Rng seeder(hash_mix(cfg_.seed, 0xA11CE5ULL));
 
@@ -387,8 +290,8 @@ void Network::flush_active() {
   active_dirty_ = false;
 }
 
-// The per-worker-grain below which a sparse round skips the pool barrier
-// and runs on the calling thread. Arena placement does not affect the
+// The per-worker-grain below which a sparse round skips the executor
+// dispatch and runs on the calling thread. Arena placement does not affect the
 // transcript (slices stay in slot order either way), so this is a pure
 // scheduling choice.
 namespace {
@@ -432,8 +335,9 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
     // in_body_ guards the referee-only knobs (set_drop_probability)
     // against mid-body flips: it must read true exactly while bodies may
     // run, and must reset on every exit path including body exceptions —
-    // hence RAII, not manual clears. The set happens-before the worker
-    // kick (pool mutex) and the reset happens-after the join barrier.
+    // hence RAII, not manual clears. The set happens-before the job
+    // submission (executor mutex) and the reset happens-after run()
+    // returns, which waits for every task.
     const struct BodyScope {
       bool& flag;
       explicit BodyScope(bool& f) : flag(f) { flag = true; }
@@ -444,27 +348,29 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
     if (!parallel) {
       run_slots(0, items, 0, body, thunk);
     } else {
+      // One executor task per contiguous slice. Task index t maps to
+      // worker_span_[t] and outbox arena t, so WHICH thread claims a task
+      // never affects the transcript (arenas still concatenate in global
+      // slot order); see deliver(). run() rethrows the first body
+      // exception after all tasks drain — same contract the old
+      // per-Network pool had.
       const std::size_t chunk = (items + threads_ - 1) / threads_;
       for (unsigned t = 0; t < threads_; ++t) {
         worker_span_[t] = {std::min<std::size_t>(t * chunk, items),
                            std::min<std::size_t>((t + 1) * chunk, items)};
       }
-      if (!pool_) pool_ = std::make_unique<WorkerPool>(*this, threads_ - 1);
-      pool_->kick(body, thunk, threads_ - 1);
-      // The calling thread is worker 0; run its slice before blocking.
-      std::exception_ptr main_err;
-      try {
-        run_slots(worker_span_[0].first, worker_span_[0].second, 0, body,
-                  thunk);
-      } catch (...) {
-        main_err = std::current_exception();
-      }
-      try {
-        pool_->wait();
-      } catch (...) {
-        if (!main_err) main_err = std::current_exception();
-      }
-      if (main_err) std::rethrow_exception(main_err);
+      struct RoundJob {
+        Network* net;
+        void* body;
+        RoundThunk thunk;
+      } job{this, body, thunk};
+      Executor::instance().run(
+          lease_, threads_, &job, [](void* c, std::size_t t) {
+            auto* rj = static_cast<RoundJob*>(c);
+            rj->net->run_slots(rj->net->worker_span_[t].first,
+                               rj->net->worker_span_[t].second,
+                               static_cast<unsigned>(t), rj->body, rj->thunk);
+          });
     }
   }
 

@@ -29,8 +29,10 @@
 // dense round's for any thread count.
 //
 // Datapath layout (perf-critical, see EXPERIMENTS.md for the benchmarks):
-//   - round bodies run on a persistent worker pool (Config::threads), woken
-//     by a generation barrier — no thread spawn/join per round;
+//   - round bodies run on the process-wide Executor (executor.h): the
+//     Network holds a lease sized by Config::threads and dispatches each
+//     round as one parallel-for over its contiguous slot slices — no thread
+//     spawn/join per round, and concurrent Networks share one pool;
 //   - each worker wire-encodes sends into a private flat outbox arena of
 //     variable-length records (a one-word message costs 24 bytes, not
 //     sizeof(Message)); arenas concatenate to global source-slot order,
@@ -79,6 +81,7 @@
 #include <vector>
 
 #include "ncc/config.h"
+#include "ncc/executor.h"
 #include "ncc/id_map.h"
 #include "ncc/ids.h"
 #include "ncc/knowledge.h"
@@ -553,7 +556,6 @@ class Network {
   friend class Ctx;
 
   using RoundThunk = void (*)(void*, Ctx&);
-  struct WorkerPool;
 
   void round_raw(void* body, RoundThunk thunk);
   void round_active_raw(void* body, RoundThunk thunk);
@@ -656,7 +658,7 @@ class Network {
   bool frontier_track_ = false;
   const Slot* round_list_ = nullptr;
   // Per-round worker slices (indices into run_list_, or raw slots when
-  // dense); written by execute_round before the pool is kicked.
+  // dense); written by execute_round before the job is submitted.
   std::vector<std::pair<std::size_t, std::size_t>> worker_span_;
   // Oversubscription bookkeeping (only entries for overflowing destinations
   // are (re)initialized each round; see deliver()).
@@ -685,7 +687,10 @@ class Network {
   // (RoundSample::sparse_dispatch; execution strategy, not transcript).
   bool sparse_dispatch_ = false;
 
-  std::unique_ptr<WorkerPool> pool_;  // lazily started on first parallel round
+  // Registration with the process-wide Executor, width = threads_. The
+  // executor starts workers lazily on the first parallel round; this
+  // Network no longer owns any threads of its own.
+  Executor::Lease lease_;
 
   NetStats stats_;
 };

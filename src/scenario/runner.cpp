@@ -1,7 +1,10 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
+#include "ncc/executor.h"
 #include "ncc/network.h"
 #include "primitives/collection.h"
 #include "primitives/reliable.h"
@@ -326,15 +329,58 @@ MatrixReport run_matrix(std::span<const ScenarioSpec> specs,
                         const RunnerOptions& opt) {
   MatrixReport report;
   report.seed = opt.seed;
+
+  // Flatten the matrix into an indexed task list in declarative
+  // (spec x algo x n) order. Every run's seed derives only from these
+  // declarative inputs (see run_one), and results land at their task
+  // index, so the merged report is byte-identical no matter which order —
+  // or on which thread — the runs actually execute.
+  struct Task {
+    const ScenarioSpec* spec;
+    Algo algo;
+    std::size_t n;
+  };
+  std::vector<Task> tasks;
+  for (const ScenarioSpec& spec : specs) {
+    const auto& sweep = opt.n_override.empty() ? spec.n_sweep : opt.n_override;
+    for (const Algo algo : opt.algos) {
+      for (const std::size_t n : sweep) tasks.push_back({&spec, algo, n});
+    }
+  }
+
+  std::vector<RunRecord> results(tasks.size());
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+  auto run_task = [&](std::size_t i) {
+    results[i] = run_one(*tasks[i].spec, tasks[i].algo, tasks[i].n, opt);
+    const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (opt.progress) {
+      // Serialize callbacks so a stderr progress printer never interleaves
+      // lines from concurrent runs.
+      std::scoped_lock lk(progress_mu);
+      opt.progress(d, tasks.size(), results[i]);
+    }
+  };
+
+  const unsigned jobs = std::max(1u, opt.jobs);
+  if (jobs == 1 || tasks.size() <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
+  } else {
+    auto& exec = ncc::Executor::instance();
+    const auto lease = exec.lease(jobs);
+    exec.parallel_for(lease, tasks.size(), run_task);
+  }
+
+  // Merge at task order — declarative order by construction.
+  std::size_t idx = 0;
   for (const ScenarioSpec& spec : specs) {
     ScenarioReport sr;
     sr.name = spec.name;
     sr.description = spec.description;
     const auto& sweep = opt.n_override.empty() ? spec.n_sweep : opt.n_override;
-    for (const Algo algo : opt.algos) {
-      for (const std::size_t n : sweep) {
-        sr.runs.push_back(run_one(spec, algo, n, opt));
-      }
+    sr.runs.reserve(opt.algos.size() * sweep.size());
+    for (std::size_t k = 0; k < opt.algos.size() * sweep.size(); ++k) {
+      sr.runs.push_back(std::move(results[idx++]));
     }
     report.scenarios.push_back(std::move(sr));
   }

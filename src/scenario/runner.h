@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,15 +36,28 @@
 
 namespace dgr::scenario {
 
+struct RunRecord;
+
 struct RunnerOptions {
   std::uint64_t seed = 1;
   unsigned threads = 1;          ///< execution detail; not in reports
   bool sparse_rounds = true;     ///< execution detail; not in reports
+  /// Concurrent runs (1 = the serial loop). Execution detail: the matrix
+  /// is dispatched as indexed tasks on the process-wide Executor and
+  /// merged back in declarative (spec x algo x n) order, so the assembled
+  /// report is byte-identical for any jobs value. Composes with `threads`:
+  /// each in-flight run may itself fan its rounds out over the executor.
+  unsigned jobs = 1;
   std::vector<std::size_t> n_override;  ///< empty = spec.n_sweep
   std::vector<Algo> algos{kAllAlgos.begin(), kAllAlgos.end()};
   std::uint64_t telemetry_interval = 8;
   std::size_t telemetry_ring = 64;
   bool keep_intervals = true;  ///< include interval series in records
+  /// Completion hook: called once per finished run with (done, total,
+  /// record), where done counts COMPLETED runs (atomic; completion order,
+  /// not declarative order, under jobs > 1). Calls are serialized — a
+  /// progress printer needs no locking of its own.
+  std::function<void(std::size_t, std::size_t, const RunRecord&)> progress;
 };
 
 /// Everything one run produced. All counters are engine-transcript values.

@@ -1,0 +1,47 @@
+#include "serve/cache.h"
+
+namespace dgr::serve {
+
+std::shared_ptr<const Realization> ResultCache::get(const CacheKey& key) {
+  std::scoped_lock lk(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::put(const CacheKey& key,
+                      std::shared_ptr<const Realization> value) {
+  if (capacity_ == 0) return;
+  std::scoped_lock lk(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_.emplace(lru_.front().first, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::scoped_lock lk(mu_);
+  CacheStats st;
+  st.hits = hits_;
+  st.misses = misses_;
+  st.evictions = evictions_;
+  st.size = lru_.size();
+  st.capacity = capacity_;
+  return st;
+}
+
+}  // namespace dgr::serve

@@ -1,0 +1,56 @@
+// LRU result cache: canonical request -> realization.
+//
+// Results are immutable once computed (shared_ptr<const Realization>), so
+// a hit hands back the exact object a previous cold run produced — the
+// byte-identical-to-cold-run guarantee costs nothing beyond keeping the
+// entry alive. Thread-safe; all counters are process-lifetime monotone.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/request.h"
+
+namespace dgr::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;      ///< live entries
+  std::size_t capacity = 0;  ///< eviction threshold
+};
+
+class ResultCache {
+ public:
+  /// capacity 0 disables caching entirely (every get misses, puts no-op).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// nullptr on miss; a hit moves the entry to the front of the LRU order.
+  std::shared_ptr<const Realization> get(const CacheKey& key);
+
+  /// Insert (or refresh) an entry, evicting from the LRU tail past
+  /// capacity. Concurrent double-insert of the same key keeps the newer
+  /// value — callers compute deterministically, so both are identical.
+  void put(const CacheKey& key, std::shared_ptr<const Realization> value);
+
+  CacheStats stats() const;
+
+ private:
+  using Entry = std::pair<CacheKey, std::shared_ptr<const Realization>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dgr::serve
