@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "rss.h"
 #include "ncc/config.h"
 #include "ncc/network.h"
 #include "util/math_util.h"
@@ -66,6 +67,14 @@ inline void report_thread_occupancy(benchmark::State& state,
                    threads, hw);
     }
   }
+}
+
+/// Record the process's peak RSS (bytes) as a plain counter. Call after
+/// the timing loop; pair with reset_peak_rss() before it for a
+/// per-benchmark window rather than a process-lifetime high-water mark.
+inline void report_peak_rss(benchmark::State& state) {
+  state.counters["peak_rss_bytes"] =
+      benchmark::Counter(static_cast<double>(peak_rss_bytes()));
 }
 
 inline void report_rounds(benchmark::State& state, double rounds,

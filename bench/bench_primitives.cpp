@@ -37,6 +37,7 @@ void E1_BbstConstruction(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   double rounds = 0;
   int height = 0;
+  bench::reset_peak_rss();
   for (auto _ : state) {
     auto net = bench::make_net(n, 42);
     prim::PathOverlay path = prim::undirect_initial_path(net);
@@ -49,18 +50,20 @@ void E1_BbstConstruction(benchmark::State& state) {
   }
   bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
                                           ceil_log2(n));
+  bench::report_peak_rss(state);
   state.counters["height"] = static_cast<double>(height);
   state.counters["height_bound"] = static_cast<double>(ceil_log2(n) + 1);
 }
 BENCHMARK(E1_BbstConstruction)
     ->RangeMultiplier(4)
-    ->Range(256, 65536)
+    ->Range(256, 1 << 20)
     ->Iterations(2)
     ->UseManualTime();
 
 void E2_DistributedSort(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   double rounds = 0;
+  bench::reset_peak_rss();
   for (auto _ : state) {
     auto net = bench::make_net(n, 43);
     prim::PathOverlay path = prim::undirect_initial_path(net);
@@ -79,10 +82,11 @@ void E2_DistributedSort(benchmark::State& state) {
   const double lg = ceil_log2(n);
   bench::report_rounds(state, rounds,
                        static_cast<double>(state.iterations()) * lg * lg);
+  bench::report_peak_rss(state);
 }
 BENCHMARK(E2_DistributedSort)
     ->RangeMultiplier(4)
-    ->Range(256, 65536)
+    ->Range(256, 1 << 20)
     ->Iterations(2)
     ->UseManualTime();
 
@@ -92,6 +96,7 @@ BENCHMARK(E2_DistributedSort)
 void run_e3_aggregate(benchmark::State& state, bool sparse_rounds) {
   const auto n = static_cast<std::size_t>(state.range(0));
   double rounds = 0;
+  bench::reset_peak_rss();
   for (auto _ : state) {
     auto net = bench::make_net(n, 44, /*clique=*/false, sparse_rounds);
     prim::PathOverlay path = prim::undirect_initial_path(net);
@@ -107,6 +112,7 @@ void run_e3_aggregate(benchmark::State& state, bool sparse_rounds) {
   }
   bench::report_rounds(state, rounds, static_cast<double>(state.iterations()) *
                                           ceil_log2(n));
+  bench::report_peak_rss(state);
 }
 
 void E3_AggregateAndBroadcast(benchmark::State& state) {
@@ -114,7 +120,7 @@ void E3_AggregateAndBroadcast(benchmark::State& state) {
 }
 BENCHMARK(E3_AggregateAndBroadcast)
     ->RangeMultiplier(4)
-    ->Range(256, 65536)
+    ->Range(256, 1 << 20)
     ->Iterations(2)
     ->UseManualTime();
 
@@ -147,6 +153,7 @@ void E3_GlobalCollection(benchmark::State& state) {
       token[i] = i;
     }
     const ncc::Slot leader = path.order.back();
+    bench::reset_peak_rss();
     const std::uint64_t before = net.stats().rounds;
     const auto t0 = Clock::now();
     auto collected = prim::global_collect(net, tree, leader, has, token);
@@ -158,6 +165,7 @@ void E3_GlobalCollection(benchmark::State& state) {
   bench::report_rounds(state, rounds,
                        static_cast<double>(state.iterations()) *
                            (static_cast<double>(k) + ceil_log2(n)));
+  bench::report_peak_rss(state);
 }
 BENCHMARK(E3_GlobalCollection)
     ->RangeMultiplier(4)

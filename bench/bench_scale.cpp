@@ -1,0 +1,354 @@
+// bench_scale: the committed million-node trajectory.
+//
+// A plain-main driver (no Google Benchmark — one iteration per point is
+// the measurement) that runs each of the five realization algorithms at a
+// sweep of n up to 10^6+, records wall time, engine transcript counters
+// and the peak RSS of the run window, validates every output with the
+// referee checks, and emits a JSON report (committed as BENCH_scale.json).
+//
+// Instances are chosen so traffic is O(n) at every size — the regime the
+// O(traffic)-memory datapath is built for:
+//   approx        4-uniform request, NCC1 local-pick envelope
+//   implicit      4-regular exact realization, NCC0
+//   explicit      4-regular + full explicitization, NCC0
+//   tree          path degree sequence (max-diameter caterpillar), NCC0
+//   connectivity  rho = 2 everywhere, NCC1 hub construction
+//
+// Budget flags make the same binary the CI scale-smoke gate:
+//   --rss-budget-mb M    any completed entry whose peak RSS exceeds M MiB
+//                        fails the process (exit 1) after the JSON is out
+//   --time-budget-s S    once an algorithm's run exceeds S seconds, its
+//                        larger sizes are emitted as {"status":"skipped"}
+//                        entries with the reason, instead of silently
+//                        missing from the sweep
+//   --pool on|off        share one ArenaPool across every run (default on;
+//                        off re-allocates per Network, for A/B)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ncc/arena.h"
+#include "ncc/config.h"
+#include "ncc/network.h"
+#include "realization/approx_degree.h"
+#include "realization/connectivity.h"
+#include "realization/explicit_degree.h"
+#include "realization/implicit_degree.h"
+#include "realization/tree_realization.h"
+#include "realization/validate.h"
+#include "rss.h"
+#include "util/check.h"
+
+namespace {
+
+using dgr::bench::peak_rss_bytes;
+using dgr::bench::reset_peak_rss;
+
+struct Options {
+  std::vector<std::size_t> sizes{4096, 16384, 65536, 262144, 1048576};
+  std::vector<std::string> algos{"approx", "implicit", "explicit", "tree",
+                                 "connectivity"};
+  std::string json_path;  // empty = stdout
+  std::uint64_t seed = 1;
+  unsigned threads = 1;
+  bool pool = true;
+  double rss_budget_mb = 0;  // 0 = off
+  double time_budget_s = 0;  // 0 = off
+};
+
+struct Entry {
+  std::string algo;
+  std::size_t n = 0;
+  std::string status;  // "ok", "failed", or "skipped"
+  std::string reason;  // skip/fail cause ("" when ok)
+  double wall_s = 0;
+  std::size_t peak_rss = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  bool validated = false;
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--n LIST] [--algos LIST] [--json FILE] [--seed S]\n"
+      "          [--threads T] [--pool on|off] [--rss-budget-mb M]\n"
+      "          [--time-budget-s S]\n"
+      "  --n       comma-separated sizes (default "
+      "4096,16384,65536,262144,1048576)\n"
+      "  --algos   subset of approx,implicit,explicit,tree,connectivity\n"
+      "  --json    output file (default stdout)\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_and_exit(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--n") {
+      opt.sizes.clear();
+      for (const auto& tok : split_csv(need(i)))
+        opt.sizes.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    } else if (a == "--algos") {
+      opt.algos = split_csv(need(i));
+    } else if (a == "--json") {
+      opt.json_path = need(i);
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--threads") {
+      opt.threads = static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+    } else if (a == "--pool") {
+      opt.pool = std::string(need(i)) != "off";
+    } else if (a == "--rss-budget-mb") {
+      opt.rss_budget_mb = std::strtod(need(i), nullptr);
+    } else if (a == "--time-budget-s") {
+      opt.time_budget_s = std::strtod(need(i), nullptr);
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (opt.sizes.empty() || opt.algos.empty()) usage_and_exit(argv[0]);
+  std::sort(opt.sizes.begin(), opt.sizes.end());
+  return opt;
+}
+
+dgr::ncc::Network make_net(std::size_t n, const Options& opt, bool clique,
+                           dgr::ncc::ArenaPool* pool) {
+  dgr::ncc::Config cfg;
+  cfg.seed = opt.seed;
+  cfg.threads = opt.threads;
+  if (clique) cfg.initial = dgr::ncc::InitialKnowledge::kClique;
+  cfg.arena_pool = pool;
+  return dgr::ncc::Network(n, cfg);
+}
+
+/// One measured point: construct, realize, validate. Throws CheckError up
+/// to the caller (recorded as a failed entry, never a crash).
+Entry run_point(const std::string& algo, std::size_t n, const Options& opt,
+                dgr::ncc::ArenaPool* pool) {
+  namespace realize = dgr::realize;
+  Entry e;
+  e.algo = algo;
+  e.n = n;
+  e.status = "ok";
+
+  reset_peak_rss();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  realize::Validation v = realize::Validation::fail("unknown algorithm");
+  std::uint64_t rounds = 0, messages = 0;
+  if (algo == "approx") {
+    const std::vector<std::uint64_t> deg(n, 4);
+    auto net = make_net(n, opt, /*clique=*/true, pool);
+    const auto r = realize::realize_upper_envelope_ncc1(net, deg);
+    DGR_CHECK_MSG(r.realizable, "approx reported unrealizable");
+    rounds = net.stats().rounds;
+    messages = net.stats().messages_sent;
+    v = realize::validate_upper_envelope(net, deg, r.stored);
+  } else if (algo == "implicit" || algo == "explicit") {
+    const std::vector<std::uint64_t> deg(n, 4);
+    auto net = make_net(n, opt, /*clique=*/false, pool);
+    auto r = realize::realize_degrees_implicit(net, deg,
+                                               realize::DegreeMode::kExact);
+    DGR_CHECK_MSG(r.realizable, "4-regular reported unrealizable");
+    if (algo == "explicit") {
+      const auto x = realize::make_explicit(net, r);
+      rounds = net.stats().rounds;
+      messages = net.stats().messages_sent;
+      v = realize::validate_explicit_adjacency(net, r.stored, x.adjacency);
+    } else {
+      rounds = net.stats().rounds;
+      messages = net.stats().messages_sent;
+      v = realize::validate_degree_realization(net, deg, r.stored);
+    }
+  } else if (algo == "tree") {
+    // Path degrees: the extreme caterpillar, sum = 2(n-1).
+    std::vector<std::uint64_t> deg(n, 2);
+    deg[0] = deg[n - 1] = 1;
+    auto net = make_net(n, opt, /*clique=*/false, pool);
+    const auto r = realize::realize_tree_caterpillar(net, deg);
+    DGR_CHECK_MSG(r.realizable, "tree degrees reported unrealizable");
+    rounds = net.stats().rounds;
+    messages = net.stats().messages_sent;
+    v = realize::validate_tree_realization(net, deg, r.stored);
+  } else if (algo == "connectivity") {
+    const std::vector<std::uint64_t> rho(n, 2);
+    auto net = make_net(n, opt, /*clique=*/true, pool);
+    const auto r = realize::realize_connectivity_ncc1(net, rho);
+    DGR_CHECK_MSG(r.realizable, "connectivity reported unrealizable");
+    rounds = net.stats().rounds;
+    messages = net.stats().messages_sent;
+    v = realize::validate_connectivity_thresholds(net, rho, r.stored,
+                                                  opt.seed);
+  } else {
+    DGR_CHECK_MSG(false, "unknown algorithm '" << algo << "'");
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  e.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  e.peak_rss = peak_rss_bytes();
+  e.rounds = rounds;
+  e.messages = messages;
+  e.validated = v.ok;
+  if (!v.ok) {
+    e.status = "failed";
+    e.reason = v.message;
+  }
+  return e;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void emit(std::FILE* f, const Options& opt, const std::vector<Entry>& entries,
+          const dgr::ncc::ArenaPool::Stats& ps) {
+  std::fprintf(f,
+               "{\n  \"generated_by\": \"bench_scale\",\n"
+               "  \"seed\": %llu,\n  \"threads\": %u,\n"
+               "  \"sparse_rounds\": true,\n  \"pool\": %s,\n"
+               "  \"pool_stats\": {\"acquires\": %llu, \"reuses\": %llu, "
+               "\"dropped\": %llu},\n  \"entries\": [\n",
+               static_cast<unsigned long long>(opt.seed), opt.threads,
+               opt.pool ? "true" : "false",
+               static_cast<unsigned long long>(ps.acquires),
+               static_cast<unsigned long long>(ps.reuses),
+               static_cast<unsigned long long>(ps.dropped));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"algo\": \"%s\", \"n\": %zu, \"status\": \"%s\"",
+                 e.algo.c_str(), e.n, e.status.c_str());
+    if (e.status == "skipped") {
+      std::fprintf(f, ", \"reason\": \"%s\"}", json_escape(e.reason).c_str());
+    } else {
+      std::fprintf(f,
+                   ", \"wall_s\": %.3f, \"peak_rss_bytes\": %zu, "
+                   "\"rounds\": %llu, \"messages\": %llu, "
+                   "\"validated\": %s",
+                   e.wall_s, e.peak_rss,
+                   static_cast<unsigned long long>(e.rounds),
+                   static_cast<unsigned long long>(e.messages),
+                   e.validated ? "true" : "false");
+      if (!e.reason.empty())
+        std::fprintf(f, ", \"reason\": \"%s\"", json_escape(e.reason).c_str());
+      std::fputc('}', f);
+    }
+    std::fprintf(f, "%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  dgr::ncc::ArenaPool pool(/*max_free=*/2);
+  dgr::ncc::ArenaPool* pool_ptr = opt.pool ? &pool : nullptr;
+
+  std::vector<Entry> entries;
+  bool budget_breached = false;
+  bool any_failed = false;
+
+  for (const std::string& algo : opt.algos) {
+    // Sizes run ascending per algorithm so a budget stop at one n can
+    // skip the rest of that algorithm's sweep with an explanation.
+    std::string skip_reason;
+    for (const std::size_t n : opt.sizes) {
+      if (!skip_reason.empty()) {
+        Entry e;
+        e.algo = algo;
+        e.n = n;
+        e.status = "skipped";
+        e.reason = skip_reason;
+        entries.push_back(std::move(e));
+        continue;
+      }
+      Entry e;
+      try {
+        e = run_point(algo, n, opt, pool_ptr);
+      } catch (const dgr::CheckError& ex) {
+        e.algo = algo;
+        e.n = n;
+        e.status = "failed";
+        e.reason = ex.what();
+      }
+      std::fprintf(stderr,
+                   "bench_scale: %-12s n=%-8zu %-7s wall=%.3fs "
+                   "peak_rss=%.1fMiB rounds=%llu validated=%d\n",
+                   e.algo.c_str(), e.n, e.status.c_str(), e.wall_s,
+                   static_cast<double>(e.peak_rss) / (1024.0 * 1024.0),
+                   static_cast<unsigned long long>(e.rounds),
+                   e.validated ? 1 : 0);
+      if (e.status == "failed" || !e.validated) any_failed = true;
+      if (opt.rss_budget_mb > 0 && e.status == "ok" &&
+          static_cast<double>(e.peak_rss) >
+              opt.rss_budget_mb * 1024.0 * 1024.0) {
+        budget_breached = true;
+        skip_reason = "rss budget: n=" + std::to_string(n) + " peaked at " +
+                      std::to_string(e.peak_rss / (1024 * 1024)) +
+                      " MiB > budget";
+      }
+      if (opt.time_budget_s > 0 && e.status == "ok" &&
+          e.wall_s > opt.time_budget_s) {
+        skip_reason = "time budget: n=" + std::to_string(n) + " took " +
+                      std::to_string(e.wall_s) + " s > budget";
+      }
+      entries.push_back(std::move(e));
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (!opt.json_path.empty()) {
+    out = std::fopen(opt.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_scale: cannot open %s\n",
+                   opt.json_path.c_str());
+      return 2;
+    }
+  }
+  emit(out, opt, entries, pool.stats());
+  if (out != stdout) std::fclose(out);
+
+  if (any_failed) return 1;
+  if (budget_breached) {
+    std::fprintf(stderr, "bench_scale: RSS budget (%.0f MiB) breached\n",
+                 opt.rss_budget_mb);
+    return 1;
+  }
+  return 0;
+}

@@ -4,9 +4,10 @@
 #   bench/export_bench_json.sh [build-dir] [min-time-seconds]
 #
 # Runs the raw round-engine benchmarks (bench_engine), the §3-primitives
-# benchmarks (bench_primitives), and the serving-stack benchmarks
-# (bench_serve) with JSON output and writes BENCH_engine.json /
-# BENCH_primitives.json / BENCH_serve.json next to this repo's README.
+# benchmarks (bench_primitives), the serving-stack benchmarks
+# (bench_serve), and the million-node scale trajectory (bench_scale) with
+# JSON output and writes BENCH_engine.json / BENCH_primitives.json /
+# BENCH_serve.json / BENCH_scale.json next to this repo's README.
 # Future PRs that touch the engine datapath or the primitives should re-run
 # this on comparable hardware and eyeball the messages/s (engine) and
 # real_time (primitives) counters against the committed baselines — see
@@ -38,3 +39,13 @@ run_bench() {
 run_bench bench_engine BENCH_engine.json
 run_bench bench_primitives BENCH_primitives.json
 run_bench bench_serve BENCH_serve.json
+
+# bench_scale is a plain-main driver (not Google Benchmark): one run per
+# (algorithm, n) point up to 10^6 nodes, threads=1, sparse scheduler.
+scale_bin="$build_dir/bench/bench_scale"
+if [ ! -x "$scale_bin" ]; then
+  echo "error: $scale_bin not found or not executable." >&2
+  exit 1
+fi
+"$scale_bin" --json "$repo_root/BENCH_scale.json"
+echo "wrote $repo_root/BENCH_scale.json"

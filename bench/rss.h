@@ -1,0 +1,59 @@
+// Peak-RSS probing for the bench harness (Linux).
+//
+// ru_maxrss is a process-lifetime high-water mark, so a naive read after a
+// benchmark reports the peak of EVERYTHING that ran before it. Linux lets
+// us re-arm the mark by writing "5" to /proc/self/clear_refs; each probe
+// window is then reset_peak_rss() -> run -> peak_rss_bytes(). When the
+// reset file is unavailable (non-Linux, locked-down container) the reset
+// is a no-op and readings degrade to the monotone high-water mark — still
+// an upper bound, never an undercount.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace dgr::bench {
+
+/// Current peak resident set size in bytes (0 where unsupported).
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Re-arm the peak-RSS high-water mark to the current RSS. Returns true if
+/// the kernel accepted the reset (Linux with clear_refs support).
+inline bool reset_peak_rss() {
+#if defined(__GLIBC__)
+  // Hand freed heap back to the kernel first: without this the new "peak"
+  // floor is whatever the allocator retained from earlier runs in the same
+  // process, and small-n measurements inherit a big-n floor.
+  malloc_trim(0);
+#endif
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  std::fclose(f);
+  return ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dgr::bench

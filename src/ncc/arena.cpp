@@ -1,0 +1,205 @@
+#include "ncc/arena.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+// Cold paths of the arena subsystem: table growth, pool bookkeeping, and
+// the sanitize/footprint sweeps. Everything per-send or per-record stays
+// header-inline (DestHist::at, OutArena::append).
+
+namespace dgr::ncc {
+
+// ------------------------------------------------------------ DestHist ----
+
+void DestHist::grow() {
+  const std::size_t next = tab_.empty() ? 64 : tab_.size() * 2;
+  std::vector<Ent> old = std::move(tab_);
+  tab_.assign(next, Ent{});
+  const std::size_t mask = next - 1;
+  // Only this epoch's live entries survive the move; stale ones are the
+  // whole point of the epoch scheme and are dropped for free here.
+  for (const Ent& e : old) {
+    if (e.epoch != epoch_) continue;
+    std::size_t i = probe_start(e.key, mask);
+    while (tab_[i].epoch == epoch_) i = (i + 1) & mask;
+    tab_[i] = e;
+  }
+}
+
+// ------------------------------------------------------------ OutArena ----
+
+void OutArena::grow(std::size_t need) {
+  std::size_t next = cap == 0 ? 256 : cap * 2;
+  while (next < len + need) next *= 2;
+  auto nb = std::make_unique<std::uint64_t[]>(next);
+  std::copy(buf.get(), buf.get() + len, nb.get());
+  buf = std::move(nb);
+  cap = next;
+}
+
+std::size_t OutArena::footprint_bytes() const {
+  return cap * sizeof(std::uint64_t) + hist.footprint_bytes() +
+         touched.capacity() * sizeof(Slot) + wake.capacity() * sizeof(Slot) +
+         legacy_inbox.capacity() * sizeof(Message);
+}
+
+// --------------------------------------------------------- RoundScratch ----
+
+namespace {
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+void RoundScratch::prepare(std::size_t n, unsigned threads) {
+  if (outboxes.size() < threads) outboxes.resize(threads);
+  if (dest_count.size() < n) {
+    // Grow-only: a pooled bundle keeps the high-water size across owners,
+    // and the invariants guarantee the retained prefix is already zero.
+    dest_count.resize(n, 0);
+    inbox_lo.resize(n, 0);
+    inbox_len.resize(n, 0);
+    inbox_cur.resize(n, 0);
+  }
+  // The lazy tables stay absent until a round actually needs them; if a
+  // previous owner materialized them, keep them coherent with the new n.
+  if (!dest_off.empty() && dest_off.size() < n) ensure_trace(n);
+  if (!bitmap_off.empty() && bitmap_off.size() < n) ensure_overflow(n);
+}
+
+void RoundScratch::ensure_trace(std::size_t n) {
+  if (dest_off.size() >= n) return;
+  dest_off.resize(n);
+  dest_cursor.resize(n);
+}
+
+void RoundScratch::ensure_overflow(std::size_t n) {
+  if (bitmap_off.size() >= n) return;
+  bitmap_off.resize(n);
+  ovf_cursor.resize(n);
+  bounce_base.resize(n);
+  bounce_cursor.resize(n);
+  bounced.resize(n);
+}
+
+void RoundScratch::sanitize() {
+  for (auto& out : outboxes) {
+    out.len = 0;
+    out.max_send = 0;
+    out.hist.advance_epoch();
+    out.touched.clear();
+    out.wake.clear();
+    out.legacy_inbox.clear();
+    out.legacy_slot = kNoSlot;
+    out.legacy_round = ~std::uint64_t{0};
+  }
+  // touched_dests covers a round aborted mid-delivery (counts and inbox
+  // extents written, tail cleanup never ran); inbox_dests covers the last
+  // completed delivery.
+  for (const Slot d : touched_dests) {
+    dest_count[d] = 0;
+    inbox_len[d] = 0;
+  }
+  touched_dests.clear();
+  for (const Slot d : inbox_dests) inbox_len[d] = 0;
+  inbox_dests.clear();
+  for (const Slot s : bounce_srcs) bounced[s].clear();
+  bounce_srcs.clear();
+  ovf_dests.clear();
+  ovf_bitmap.clear();
+  arena.clear();
+}
+
+std::size_t RoundScratch::footprint_bytes() const {
+  std::size_t b = 0;
+  for (const auto& out : outboxes) b += out.footprint_bytes();
+  b += vec_bytes(dest_count) + vec_bytes(inbox_lo) + vec_bytes(inbox_len) +
+       vec_bytes(inbox_cur);
+  b += vec_bytes(touched_dests) + vec_bytes(inbox_dests) +
+       vec_bytes(bounce_srcs);
+  b += inbox_cap * sizeof(std::uint64_t);
+  b += vec_bytes(dest_off) + vec_bytes(dest_cursor) + vec_bytes(arena);
+  b += vec_bytes(ovf_dests) + vec_bytes(ovf_bitmap) + vec_bytes(bitmap_off) +
+       vec_bytes(ovf_cursor) + vec_bytes(bounce_base) +
+       vec_bytes(bounce_cursor) + vec_bytes(overflow_idx);
+  b += bounce_cap * sizeof(EncodedRef);
+  b += vec_bytes(bounced);
+  for (const auto& v : bounced) b += v.capacity() * sizeof(Bounced);
+  return b;
+}
+
+bool RoundScratch::invariants_clean() const {
+  for (const auto& out : outboxes) {
+    if (out.len != 0 || !out.touched.empty() || !out.wake.empty()) return false;
+    if (!out.hist.all_zero()) return false;
+  }
+  if (!touched_dests.empty() || !inbox_dests.empty() || !bounce_srcs.empty())
+    return false;
+  for (const std::uint64_t c : dest_count)
+    if (c != 0) return false;
+  for (const std::uint32_t l : inbox_len)
+    if (l != 0) return false;
+  for (const auto& v : bounced)
+    if (!v.empty()) return false;
+  return true;
+}
+
+// ------------------------------------------------------------ ArenaPool ----
+
+std::unique_ptr<RoundScratch> ArenaPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.acquires;
+    if (!free_.empty()) {
+      ++stats_.reuses;
+      auto s = std::move(free_.back());
+      free_.pop_back();
+      return s;
+    }
+  }
+  return std::make_unique<RoundScratch>();
+}
+
+void ArenaPool::release(std::unique_ptr<RoundScratch> scratch) {
+  if (!scratch) return;
+  scratch->sanitize();
+#ifndef NDEBUG
+  DGR_CHECK_MSG(scratch->invariants_clean(),
+                "RoundScratch released to the pool with dirty between-round "
+                "state (sanitize() failed to restore an invariant)");
+#endif
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_.size() < max_free_) {
+    free_.push_back(std::move(scratch));
+  } else {
+    ++stats_.dropped;  // scratch frees on scope exit
+  }
+}
+
+void ArenaPool::trim() {
+  std::lock_guard<std::mutex> lk(mu_);
+  free_.clear();
+}
+
+std::size_t ArenaPool::retained_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t b = 0;
+  for (const auto& s : free_) b += s->footprint_bytes();
+  return b;
+}
+
+std::size_t ArenaPool::free_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return free_.size();
+}
+
+ArenaPool::Stats ArenaPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace dgr::ncc

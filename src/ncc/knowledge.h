@@ -35,7 +35,7 @@ class Knowledge {
     known_ = 0;
     hot_id_ = kNoNode;
     hot_slot_ = kNoSlot;
-    tab_.assign(kMinCap, kEmpty);
+    tab_.assign(initial_cap(n), kEmpty);
     words_.clear();
     words_.shrink_to_fit();
   }
@@ -139,6 +139,19 @@ class Knowledge {
   // protocols teach a node ~2 log n IDs, and starting smaller made the
   // engine spend measurable time rehashing tables mid-simulation.
   static constexpr std::size_t kMinCap = 64;
+  // ...except at huge n, where the eager tables dominate setup RSS (256MB
+  // before any message moves at n = 10^6). There bootstrap at 16 entries
+  // and let the cold grow path carry a node to 64 by its ~8th learned ID:
+  // a couple of extra rehashes per node that actually learns, invisible
+  // next to the protocol's own work, and transcript-neutral — table
+  // geometry is not observable (membership, size, and learn semantics are
+  // identical).
+  static constexpr std::size_t kMinCapHuge = 16;
+  static constexpr std::size_t kHugeN = std::size_t{1} << 18;
+
+  static std::size_t initial_cap(std::size_t n) {
+    return n >= kHugeN ? kMinCapHuge : kMinCap;
+  }
 
   static std::size_t probe_start(Slot s, std::size_t mask) {
     return (static_cast<std::uint32_t>(s) * 2654435761u) & mask;

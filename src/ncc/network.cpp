@@ -7,22 +7,12 @@
 #include <iterator>
 #include <numeric>
 
+#include "ncc/arena.h"
 #include "ncc/executor.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
 namespace dgr::ncc {
-
-// ------------------------------------------------------------ OutArena ----
-
-void Ctx::OutArena::grow(std::size_t need) {
-  std::size_t next = cap == 0 ? 256 : cap * 2;
-  while (next < len + need) next *= 2;
-  auto nb = std::make_unique<std::uint64_t[]>(next);
-  std::copy(buf.get(), buf.get() + len, nb.get());
-  buf = std::move(nb);
-  cap = next;
-}
 
 namespace {
 
@@ -34,9 +24,9 @@ namespace {
 /// round, so acceptance consults its overflow-bitmap cursor.
 constexpr std::uint32_t kOvfBit = 0x80000000u;
 
-// Packed per-destination accounting (OutArena::hist / Network::dest_count_):
-// message count in the low 32 bits, record words in the high 32. One add
-// maintains both.
+// Packed per-destination accounting (OutArena::hist / RoundScratch::
+// dest_count): message count in the low 32 bits, record words in the high
+// 32. One add maintains both.
 inline std::uint64_t pack_one(std::size_t rec_words) {
   return std::uint64_t{1} | (static_cast<std::uint64_t>(rec_words) << 32);
 }
@@ -149,20 +139,23 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
   // Every node knows its own ID.
   for (Slot s = 0; s < n; ++s) know_[s].learn_slot(s);
 
-  outboxes_.resize(threads_);
-  for (auto& out : outboxes_) out.hist.assign(n, 0);
-  dest_count_.assign(n, 0);  // invariant: all-zero between rounds
-  dest_off_.resize(n);
-  dest_cursor_.resize(n);
-  inbox_lo_.assign(n, 0);
-  inbox_len_.assign(n, 0);  // invariant: nonzero only for inbox_dests_
-  inbox_cur_.resize(n);
+  // Round-transient buffers: borrowed from the configured pool (warm from
+  // a previous Network's run — a Runner matrix reuses one bundle across
+  // all its realization algorithms) or freshly default-constructed.
+  // prepare() sizes only the slim always-touched per-destination indices
+  // (24 B/node, independent of the thread count); the per-worker
+  // histograms are sparse (DestHist) and the trace/overflow tables stay
+  // absent until a round actually needs them, so constructing a
+  // million-node Network costs O(n) for the model state (IDs, knowledge,
+  // RNG streams) and O(1) per worker for the datapath.
+  if (cfg_.arena_pool) {
+    pool_ = cfg_.arena_pool;
+    scr_ = pool_->acquire();
+  } else {
+    scr_ = std::make_unique<RoundScratch>();
+  }
+  scr_->prepare(n_, threads_);
   worker_span_.resize(threads_);
-  bitmap_off_.resize(n);
-  ovf_cursor_.resize(n);
-  bounce_base_.resize(n);
-  bounce_cursor_.resize(n);
-  bounced_.resize(n);
 
   node_rng_.reserve(n);
   for (Slot s = 0; s < n; ++s)
@@ -171,7 +164,11 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
   crashed_.assign(n, 0);
 }
 
-Network::~Network() = default;
+Network::~Network() {
+  // Return the round scratch to its pool (release() sanitizes it back to
+  // the between-round invariants); without a pool it frees with us.
+  if (pool_) pool_->release(std::move(scr_));
+}
 
 Slot Network::slot_of(NodeId id) const {
   const Slot s = id_map_.find(id);
@@ -222,7 +219,7 @@ void Network::send_fail(Slot s, NodeId to, const std::uint64_t* rec,
 
 void Network::run_slots(std::size_t lo, std::size_t hi, unsigned arena,
                         void* body, RoundThunk thunk) {
-  auto* out = &outboxes_[arena];
+  auto* out = &scr_->outboxes[arena];
   const Slot* list = round_list_;  // null => dense: index i IS the slot
   for (std::size_t i = lo; i < hi; ++i) {
     const Slot s = list ? list[i] : static_cast<Slot>(i);
@@ -276,10 +273,10 @@ void Network::round_active_raw(void* body, RoundThunk thunk) {
 void Network::ensure_frontier() {
   if (frontier_track_) return;
   frontier_track_ = true;
-  std::sort(bounce_srcs_.begin(), bounce_srcs_.end());
+  std::sort(scr_->bounce_srcs.begin(), scr_->bounce_srcs.end());
   flush_active();
-  sorted_union_into(active_, inbox_dests_, active_scratch_);
-  sorted_union_into(active_, bounce_srcs_, active_scratch_);
+  sorted_union_into(active_, scr_->inbox_dests, active_scratch_);
+  sorted_union_into(active_, scr_->bounce_srcs, active_scratch_);
 }
 
 void Network::flush_active() {
@@ -301,23 +298,26 @@ constexpr std::size_t kSparseParallelGrain = 2048;
 void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
   DGR_CHECK_MSG(stats_.rounds < cfg_.max_rounds,
                 "round budget exhausted (" << cfg_.max_rounds << ")");
+  RoundScratch& sc = *scr_;
 
   // Reset per-round arena state. The touched/count lists are normally empty
   // here (deliver() consumed them); after a round aborted by a body or
   // strict-mode exception they heal the partial state, keeping the
-  // between-rounds invariants (hist, dest_count_, inbox_len_ all zero).
-  for (auto& out : outboxes_) {
+  // between-rounds invariants (hist, dest_count, inbox_len all zero —
+  // advance_epoch retires any live histogram entries in O(1) regardless of
+  // how the previous round ended).
+  for (auto& out : sc.outboxes) {
     out.clear();
     out.max_send = 0;
-    for (const Slot d : out.touched) out.hist[d] = 0;
+    out.hist.advance_epoch();
     out.touched.clear();
     out.wake.clear();
   }
-  for (const Slot d : touched_dests_) {
-    dest_count_[d] = 0;
-    inbox_len_[d] = 0;
+  for (const Slot d : sc.touched_dests) {
+    sc.dest_count[d] = 0;
+    sc.inbox_len[d] = 0;
   }
-  touched_dests_.clear();
+  sc.touched_dests.clear();
 
   // Dense-round fast path: when the previous delivery touched at least
   // n/kDenseSweep destinations, predict this round dense too — Ctx::send
@@ -388,10 +388,11 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
 // Sparse datapath: every pass below walks lists that name exactly the slots
 // involved this round (touched destinations, bounce sources, wakes), so a
 // round's delivery cost is O(messages + slots touched), independent of n.
-// Destination iteration sorts touched_dests_ first, which keeps the
+// Destination iteration sorts touched_dests first, which keeps the
 // oversubscription draws in destination-slot order — the same order the
 // dense full-range sweep produced.
 void Network::deliver() {
+  RoundScratch& sc = *scr_;
   Rng delivery_rng(hash_mix(cfg_.seed, 0xDE11FE12ULL, stats_.rounds));
 
   // The inbox arena is about to be repacked: every InboxView handed out for
@@ -401,14 +402,14 @@ void Network::deliver() {
   // O(last round's frontier) cleanup of the per-slot state the previous
   // delivery wrote: inbox extents and bounce lists. Near-dense lists use a
   // sequential fill instead of a scatter (kDenseSweep below).
-  if (inbox_dests_.size() >= n_ / kDenseSweep) {
-    std::fill(inbox_len_.begin(), inbox_len_.end(), 0u);
+  if (sc.inbox_dests.size() >= n_ / kDenseSweep) {
+    std::fill(sc.inbox_len.begin(), sc.inbox_len.end(), 0u);
   } else {
-    for (const Slot d : inbox_dests_) inbox_len_[d] = 0;
+    for (const Slot d : sc.inbox_dests) sc.inbox_len[d] = 0;
   }
-  inbox_dests_.clear();
-  for (const Slot s : bounce_srcs_) bounced_[s].clear();
-  bounce_srcs_.clear();
+  sc.inbox_dests.clear();
+  for (const Slot s : sc.bounce_srcs) sc.bounced[s].clear();
+  sc.bounce_srcs.clear();
 
   // Pass 1 — drop/crash filtering and the counting-sort histogram. On the
   // reliable fast path (no loss, no crashes, no trace) nothing can be
@@ -423,13 +424,15 @@ void Network::deliver() {
   const bool fast = !lossy && crashed_n_ == 0 && !trace_;
   const bool trailered = !is_clique();  // records carry ID-slot trailers
   // Near-dense rounds run the O(n) sequential variants of the passes below
-  // (histogram fold, ordered-destination rebuild, zeroing): at that density
-  // streaming beats list-driven scatters. Sparse rounds touch only the
-  // lists.
+  // (ordered-destination rebuild, zeroing): at that density streaming beats
+  // list-driven scatters. Sparse rounds touch only the lists.
   bool dense_sweep = false;
+  // Whether the fold below consumed (and re-zeroed) the per-worker
+  // histogram entries — the debug all-zero invariant only holds then.
+  bool hist_consumed = false;
   if (!fast) {
-    // dest_count_ is all-zero between rounds; only survivors count.
-    for (auto& out : outboxes_) {
+    // dest_count is all-zero between rounds; only survivors count.
+    for (auto& out : sc.outboxes) {
       std::uint64_t* p = out.buf.get();
       std::uint64_t* const end = p + out.len;
       while (p < end) {
@@ -447,55 +450,60 @@ void Network::deliver() {
                             MessageOutcome::kDropped});
           wire::retarget(p, kNoSlot);  // tombstone: placement skips it
         } else {
-          std::uint64_t& c = dest_count_[dst];
-          if (c == 0) touched_dests_.push_back(dst);
+          std::uint64_t& c = sc.dest_count[dst];
+          if (c == 0) sc.touched_dests.push_back(dst);
           c += pack_one(rl);
         }
         p += rl;
       }
     }
-    dense_sweep = dense_round_ || touched_dests_.size() >= n_ / kDenseSweep;
+    dense_sweep = dense_round_ || sc.touched_dests.size() >= n_ / kDenseSweep;
   } else if (dense_round_) {
     // Dense-round fast path: Ctx::send maintained no histograms this round.
     // Re-stream the headers sequentially (the PR2 shape) — at this density
     // the streaming pass beats per-send scattered upkeep — and rebuild the
     // ordered destination list with the O(n) sweep below.
-    for (const auto& out : outboxes_) {
+    for (const auto& out : sc.outboxes) {
       const std::uint64_t* p = out.buf.get();
       const std::uint64_t* const end = p + out.len;
       while (p < end) {
         const std::size_t rl = wire::record_words(p, trailered);
-        dest_count_[wire::dst(p)] += pack_one(rl);
+        sc.dest_count[wire::dst(p)] += pack_one(rl);
         p += rl;
       }
     }
     dense_sweep = true;
   } else {
     std::size_t touched_total = 0;
-    for (const auto& out : outboxes_) touched_total += out.touched.size();
+    for (const auto& out : sc.outboxes) touched_total += out.touched.size();
     dense_sweep = touched_total >= n_ / kDenseSweep;
+    hist_consumed = true;
+    // Fold only the destinations each worker actually sent to, consuming
+    // (and re-zeroing) each sparse histogram entry as it folds. The
+    // near-dense case used to stream whole dense histograms here; with
+    // O(touched) tables the touched lists ARE the histogram's extent, and
+    // the ordered destination list is rebuilt by the O(n) sweep below.
     if (dense_sweep) {
-      // Sequential fold of the whole histograms (they are zero outside the
-      // touched entries); the ordered destination list is rebuilt by the
-      // sweep below.
-      std::copy(outboxes_[0].hist.begin(), outboxes_[0].hist.end(),
-                dest_count_.begin());
-      for (unsigned t = 1; t < threads_; ++t) {
-        const auto& hist = outboxes_[t].hist;
-        for (std::size_t d = 0; d < n_; ++d) dest_count_[d] += hist[d];
+      for (auto& out : sc.outboxes) {
+        for (const Slot d : out.touched) {
+          std::uint64_t& h = out.hist.at(d);
+          sc.dest_count[d] += h;
+          h = 0;
+        }
       }
     } else {
-      // Fold only the destinations each worker actually sent to.
-      for (auto& out : outboxes_) {
+      for (auto& out : sc.outboxes) {
         for (const Slot d : out.touched) {
-          if (dest_count_[d] == 0) touched_dests_.push_back(d);
-          dest_count_[d] += out.hist[d];
+          std::uint64_t& h = out.hist.at(d);
+          if (sc.dest_count[d] == 0) sc.touched_dests.push_back(d);
+          sc.dest_count[d] += h;
+          h = 0;
         }
       }
     }
   }
   std::uint64_t round_max_send = 0;
-  for (const auto& out : outboxes_)
+  for (const auto& out : sc.outboxes)
     round_max_send = std::max<std::uint64_t>(
         round_max_send, static_cast<std::uint64_t>(out.max_send));
   stats_.max_send_in_round =
@@ -508,27 +516,27 @@ void Network::deliver() {
   // arrival in O(1). Near-dense rounds rebuild the ordered list with a
   // sequential sweep instead of sorting it.
   if (dense_sweep) {
-    touched_dests_.clear();
+    sc.touched_dests.clear();
     for (Slot d = 0; d < static_cast<Slot>(n_); ++d) {
-      if (dest_count_[d] != 0) touched_dests_.push_back(d);
+      if (sc.dest_count[d] != 0) sc.touched_dests.push_back(d);
     }
   } else {
-    std::sort(touched_dests_.begin(), touched_dests_.end());
+    std::sort(sc.touched_dests.begin(), sc.touched_dests.end());
   }
   const auto cap = static_cast<std::size_t>(capacity_);
-  ovf_dests_.clear();
-  ovf_bitmap_.clear();
+  sc.ovf_dests.clear();
+  sc.ovf_bitmap.clear();
   std::size_t accept_msgs = 0;    // accepted messages (stats, trace order)
   std::size_t layout_words = 0;   // inbox arena extent, incl. overflow slack
   std::size_t bounce_total = 0;
   std::uint64_t round_max_recv = 0;
-  for (const Slot d : touched_dests_) {
-    const std::uint64_t dc = dest_count_[d];
+  for (const Slot d : sc.touched_dests) {
+    const std::uint64_t dc = sc.dest_count[d];
     const std::size_t m = pk_count(dc);
     const std::size_t w = pk_words(dc);
     round_max_recv = std::max<std::uint64_t>(round_max_recv, m);
     // kOvfBit guard: the word cursor lives in the low 31 bits of
-    // inbox_cur_ and bit 31 is the oversubscription flag. Reject the round
+    // inbox_cur and bit 31 is the oversubscription flag. Reject the round
     // BEFORE stamping any cursor whose arithmetic could reach the flag bit,
     // so a per-destination count near the flag can never alias it — not
     // even transiently mid-pass (placement advances the cursor by this
@@ -537,10 +545,10 @@ void Network::deliver() {
                   "round too large for 32-bit delivery cursors ("
                       << layout_words + w << " inbox words would reach the "
                       << "kOvfBit oversubscription flag)");
-    inbox_lo_[d] = layout_words;
-    inbox_cur_[d] = static_cast<std::uint32_t>(layout_words);
+    sc.inbox_lo[d] = layout_words;
+    sc.inbox_cur[d] = static_cast<std::uint32_t>(layout_words);
     if (m <= cap) {
-      inbox_len_[d] = static_cast<std::uint32_t>(m);
+      sc.inbox_len[d] = static_cast<std::uint32_t>(m);
       accept_msgs += m;
       layout_words += w;
       continue;
@@ -549,26 +557,29 @@ void Network::deliver() {
                   "receive capacity exceeded at node "
                       << ids_[d] << " (" << m << " > " << cap
                       << ") in strict mode");
+    // First overflow on this scratch materializes the O(n) cursor tables;
+    // a run that never oversubscribes a receiver never allocates them.
+    sc.ensure_overflow(n_);
     // Accept a uniformly random cap-sized subset, preserving source order
     // among the accepted. The scratch is reused across destinations/rounds.
-    overflow_idx_.resize(m);
-    std::iota(overflow_idx_.begin(), overflow_idx_.end(), 0u);
+    sc.overflow_idx.resize(m);
+    std::iota(sc.overflow_idx.begin(), sc.overflow_idx.end(), 0u);
     for (std::size_t i = 0; i < cap; ++i) {
       const std::size_t j =
           i + static_cast<std::size_t>(delivery_rng.below(m - i));
-      std::swap(overflow_idx_[i], overflow_idx_[j]);
+      std::swap(sc.overflow_idx[i], sc.overflow_idx[j]);
     }
-    const std::size_t boff = ovf_bitmap_.size();
-    bitmap_off_[d] = static_cast<std::uint32_t>(boff);
-    ovf_bitmap_.resize(boff + m);  // new bytes value-initialize to 0
+    const std::size_t boff = sc.ovf_bitmap.size();
+    sc.bitmap_off[d] = static_cast<std::uint32_t>(boff);
+    sc.ovf_bitmap.resize(boff + m);  // new bytes value-initialize to 0
     for (std::size_t i = 0; i < cap; ++i)
-      ovf_bitmap_[boff + overflow_idx_[i]] = 1;
-    bounce_base_[d] = static_cast<std::uint32_t>(bounce_total);
-    bounce_cursor_[d] = static_cast<std::uint32_t>(bounce_total);
+      sc.ovf_bitmap[boff + sc.overflow_idx[i]] = 1;
+    sc.bounce_base[d] = static_cast<std::uint32_t>(bounce_total);
+    sc.bounce_cursor[d] = static_cast<std::uint32_t>(bounce_total);
     bounce_total += m - cap;
-    ovf_dests_.push_back(d);
-    inbox_cur_[d] |= kOvfBit;
-    inbox_len_[d] = static_cast<std::uint32_t>(cap);
+    sc.ovf_dests.push_back(d);
+    sc.inbox_cur[d] |= kOvfBit;
+    sc.inbox_len[d] = static_cast<std::uint32_t>(cap);
     accept_msgs += cap;
     // The full pre-overflow word extent: accepted records pack at its
     // front, the bounced records' words are slack the next round reclaims.
@@ -576,7 +587,7 @@ void Network::deliver() {
   }
   stats_.max_recv_in_round =
       std::max(stats_.max_recv_in_round, round_max_recv);
-  // bounce_refs_ cursors are 32-bit message indices.
+  // bounce_refs cursors are 32-bit message indices.
   DGR_CHECK_MSG(bounce_total < kOvfBit,
                 "round too large for 32-bit delivery cursors ("
                     << bounce_total << " bounced)");
@@ -585,17 +596,17 @@ void Network::deliver() {
   stats_.messages_dropped += dropped;
   // The bitmap buffer has its final size now; plant the per-destination
   // accept-flag cursors the placement pass consumes in arrival order.
-  for (const Slot d : ovf_dests_)
-    ovf_cursor_[d] = ovf_bitmap_.data() + bitmap_off_[d];
+  for (const Slot d : sc.ovf_dests)
+    sc.ovf_cursor[d] = sc.ovf_bitmap.data() + sc.bitmap_off[d];
 
-  if (bounce_cap_ < bounce_total)
-    grow_discard(bounce_refs_, bounce_cap_, bounce_total, 256);
-  if (inbox_cap_ < layout_words)
-    grow_discard(inbox_words_, inbox_cap_, layout_words, 2048);
+  if (sc.bounce_cap < bounce_total)
+    grow_discard(sc.bounce_refs, sc.bounce_cap, bounce_total, 256);
+  if (sc.inbox_cap < layout_words)
+    grow_discard(sc.inbox_words, sc.inbox_cap, layout_words, 2048);
   // In clique mode every node already knows every ID: skip the per-message
   // knowledge update (and its random access into know_) entirely.
   const bool learning = !is_clique();
-  std::uint64_t* const inbox = inbox_words_.get();
+  std::uint64_t* const inbox = sc.inbox_words.get();
 
   // Pass 3 — placement. Without a trace each accepted record is copied
   // exactly once, verbatim, from its outbox arena straight to its final
@@ -606,7 +617,7 @@ void Network::deliver() {
   // trace attached, messages are reference-sorted per destination first so
   // trace events keep the seed engine's exact dest-major order.
   if (!trace_) {
-    for (const auto& out : outboxes_) {
+    for (const auto& out : sc.outboxes) {
       const std::uint64_t* p = out.buf.get();
       const std::uint64_t* const end = p + out.len;
       while (p < end) {
@@ -615,39 +626,41 @@ void Network::deliver() {
         p += rl;
         const Slot dst = wire::dst(rec);
         if (dst == kNoSlot) continue;
-        const std::uint32_t cur = inbox_cur_[dst];
+        const std::uint32_t cur = sc.inbox_cur[dst];
         if (cur & kOvfBit) {
-          if (*ovf_cursor_[dst]++ == 0) {
-            bounce_refs_[bounce_cursor_[dst]++] = {rec, wire::src(rec)};
+          if (*sc.ovf_cursor[dst]++ == 0) {
+            sc.bounce_refs[sc.bounce_cursor[dst]++] = {rec, wire::src(rec)};
             continue;
           }
         }
-        inbox_cur_[dst] = cur + static_cast<std::uint32_t>(rl);
+        sc.inbox_cur[dst] = cur + static_cast<std::uint32_t>(rl);
         std::uint64_t* q = inbox + (cur & ~kOvfBit);
         for (std::size_t i = 0; i < rl; ++i) q[i] = rec[i];
       }
     }
-    for (const Slot d : ovf_dests_) {
-      const std::size_t lo = bounce_base_[d];
-      const std::size_t hi = lo + pk_count(dest_count_[d]) - cap;
+    for (const Slot d : sc.ovf_dests) {
+      const std::size_t lo = sc.bounce_base[d];
+      const std::size_t hi = lo + pk_count(sc.dest_count[d]) - cap;
       for (std::size_t k = lo; k < hi; ++k) {
-        const auto& r = bounce_refs_[k];
-        if (bounced_[r.src].empty()) bounce_srcs_.push_back(r.src);
-        Bounced& b = bounced_[r.src].emplace_back();
+        const auto& r = sc.bounce_refs[k];
+        if (sc.bounced[r.src].empty()) sc.bounce_srcs.push_back(r.src);
+        Bounced& b = sc.bounced[r.src].emplace_back();
         b.dst = ids_[d];
         wire::decode(r.enc, ids_[r.src], b.msg);
       }
     }
   } else {
+    // First trace on this scratch materializes the reference-sort tables.
+    sc.ensure_trace(n_);
     // Stable counting-sort of references by destination...
     std::size_t total = 0;
-    for (const Slot d : touched_dests_) {
-      dest_off_[d] = total;
-      dest_cursor_[d] = total;
-      total += pk_count(dest_count_[d]);
+    for (const Slot d : sc.touched_dests) {
+      sc.dest_off[d] = total;
+      sc.dest_cursor[d] = total;
+      total += pk_count(sc.dest_count[d]);
     }
-    arena_.resize(total);
-    for (const auto& out : outboxes_) {
+    sc.arena.resize(total);
+    for (const auto& out : sc.outboxes) {
       const std::uint64_t* p = out.buf.get();
       const std::uint64_t* const end = p + out.len;
       while (p < end) {
@@ -655,18 +668,18 @@ void Network::deliver() {
         p += wire::record_words(p, trailered);
         const Slot dst = wire::dst(rec);
         if (dst == kNoSlot) continue;
-        arena_[dest_cursor_[dst]++] = {rec, wire::src(rec)};
+        sc.arena[sc.dest_cursor[dst]++] = {rec, wire::src(rec)};
       }
     }
     // ...then per-destination delivery in arrival order.
-    for (const Slot d : touched_dests_) {
-      const std::size_t lo = dest_off_[d];
-      const std::size_t m = pk_count(dest_count_[d]);
+    for (const Slot d : sc.touched_dests) {
+      const std::size_t lo = sc.dest_off[d];
+      const std::size_t m = pk_count(sc.dest_count[d]);
       const bool over = m > cap;
-      std::uint32_t cur = inbox_cur_[d] & ~kOvfBit;
+      std::uint32_t cur = sc.inbox_cur[d] & ~kOvfBit;
       for (std::size_t i = 0; i < m; ++i) {
-        const auto [enc, src] = arena_[lo + i];
-        const bool accept = !over || ovf_bitmap_[bitmap_off_[d] + i] != 0;
+        const auto [enc, src] = sc.arena[lo + i];
+        const bool accept = !over || sc.ovf_bitmap[sc.bitmap_off[d] + i] != 0;
         if (trace_)
           trace_->record({stats_.rounds, src, d, wire::tag(enc),
                           accept ? MessageOutcome::kDelivered
@@ -677,13 +690,13 @@ void Network::deliver() {
           for (std::size_t w = 0; w < rl; ++w) q[w] = enc[w];
           cur += static_cast<std::uint32_t>(rl);
         } else {
-          if (bounced_[src].empty()) bounce_srcs_.push_back(src);
-          Bounced& b = bounced_[src].emplace_back();
+          if (sc.bounced[src].empty()) sc.bounce_srcs.push_back(src);
+          Bounced& b = sc.bounced[src].emplace_back();
           b.dst = ids_[d];
           wire::decode(enc, ids_[src], b.msg);
         }
       }
-      inbox_cur_[d] = cur;
+      sc.inbox_cur[d] = cur;
     }
   }
   stats_.messages_delivered += accept_msgs;
@@ -701,10 +714,10 @@ void Network::deliver() {
   // (Knowledge::learn_trailer) — send-side checks resolved every forwarded
   // ID's slot already, so the pass never touches the IdMap.
   if (learning) {
-    for (const Slot d : touched_dests_) {
+    for (const Slot d : sc.touched_dests) {
       Knowledge& k = know_[d];
-      const std::uint64_t* p = inbox + inbox_lo_[d];
-      const std::uint32_t len = inbox_len_[d];
+      const std::uint64_t* p = inbox + sc.inbox_lo[d];
+      const std::uint32_t len = sc.inbox_len[d];
       for (std::uint32_t i = 0; i < len; ++i) {
         k.learn_slot(wire::src(p));
         const unsigned mask = wire::id_mask(p);
@@ -726,10 +739,10 @@ void Network::deliver() {
   }
 
   // Tail — compute the next round's frontier and restore the between-round
-  // invariants (dest_count_ and the worker histograms return to all-zero;
-  // touched_dests_ hands the recipient list to the next cleanup).
+  // invariants (dest_count and the worker histograms return to all-zero;
+  // touched_dests hands the recipient list to the next cleanup).
   wake_scratch_.clear();
-  for (auto& out : outboxes_) {
+  for (auto& out : sc.outboxes) {
     // Worker slices are contiguous and ascending, so concatenating the
     // per-arena wake lists in arena order yields a sorted list.
     if (!out.wake.empty()) {
@@ -738,26 +751,32 @@ void Network::deliver() {
                            out.wake.end());
       out.wake.clear();
     }
-    if (out.touched.size() >= n_ / kDenseSweep) {
-      std::fill(out.hist.begin(), out.hist.end(), 0u);
-    } else {
-      for (const Slot d : out.touched) out.hist[d] = 0;
-    }
+#ifndef NDEBUG
+    // The fold above consumed every live histogram entry: between rounds
+    // no destination may carry a nonzero count. (Paths that never read the
+    // histograms — lossy/traced re-streams, dense-round re-streams — leave
+    // their entries live; advance_epoch retires those wholesale.)
+    DGR_CHECK_MSG(!hist_consumed || out.hist.all_zero(),
+                  "per-worker histogram not all-zero after the delivery "
+                  "fold (between-round invariant violated)");
+#endif
+    (void)hist_consumed;
+    out.hist.advance_epoch();
     out.touched.clear();
   }
   if (frontier_track_) {
-    std::sort(bounce_srcs_.begin(), bounce_srcs_.end());
+    std::sort(sc.bounce_srcs.begin(), sc.bounce_srcs.end());
     // frontier = recipients ∪ self-wakes ∪ bounce holders ∪ any referee
     // wakes already queued for the next round (kept across dense rounds).
     flush_active();
-    sorted_union_into(active_, touched_dests_, active_scratch_);
+    sorted_union_into(active_, sc.touched_dests, active_scratch_);
     sorted_union_into(active_, wake_scratch_, active_scratch_);
-    sorted_union_into(active_, bounce_srcs_, active_scratch_);
+    sorted_union_into(active_, sc.bounce_srcs, active_scratch_);
   }
   if (dense_sweep) {
-    std::fill(dest_count_.begin(), dest_count_.end(), 0u);
+    std::fill(sc.dest_count.begin(), sc.dest_count.end(), 0u);
   } else {
-    for (const Slot d : touched_dests_) dest_count_[d] = 0;
+    for (const Slot d : sc.touched_dests) sc.dest_count[d] = 0;
   }
   // Next round's dense-fast-path prediction: this round's actual touched-
   // destination density against the sweep threshold. (Deliberately NOT
@@ -765,9 +784,9 @@ void Network::deliver() {
   // moves n·cap/2 messages to 8 destinations, and there the per-worker
   // histogram fold is 8 entries — far cheaper than re-streaming every
   // record header.)
-  last_dense_ = touched_dests_.size() >= n_ / kDenseSweep;
-  inbox_dests_.swap(touched_dests_);
-  touched_dests_.clear();
+  last_dense_ = sc.touched_dests.size() >= n_ / kDenseSweep;
+  sc.inbox_dests.swap(sc.touched_dests);
+  sc.touched_dests.clear();
 
   // Telemetry hook, referee context (in_body_ is false, the frontier is
   // rebuilt, all statistics folded): hand the sink this round's deltas. A
@@ -783,7 +802,7 @@ void Network::deliver() {
     smp.dropped = dropped;
     smp.max_send = static_cast<std::uint32_t>(round_max_send);
     smp.max_recv = static_cast<std::uint32_t>(round_max_recv);
-    smp.touched_dests = static_cast<std::uint32_t>(inbox_dests_.size());
+    smp.touched_dests = static_cast<std::uint32_t>(sc.inbox_dests.size());
     smp.inbox_words = layout_words;
     smp.frontier =
         frontier_track_ ? static_cast<std::uint32_t>(active_.size()) : 0;
@@ -796,19 +815,19 @@ void Network::deliver() {
   }
 }
 
-std::span<const Message> Network::legacy_inbox(Slot s, Ctx::OutArena& out) {
+std::span<const Message> Network::legacy_inbox(Slot s, OutArena& out) {
   // Cache key: (slot, round). A slot's body runs exactly once per round on
   // one worker, so the worker-private scratch only ever serves one slot at
   // a time and repeated inbox() calls within a body reuse the decode.
   if (out.legacy_slot != s || out.legacy_round != stats_.rounds) {
     out.legacy_slot = s;
     out.legacy_round = stats_.rounds;
-    const std::uint32_t len = inbox_len_[s];
+    const std::uint32_t len = scr_->inbox_len[s];
     out.legacy_inbox.clear();
     out.legacy_inbox.resize(len);
     if (len != 0) {
       const bool trailered = !is_clique();
-      const std::uint64_t* p = inbox_words_.get() + inbox_lo_[s];
+      const std::uint64_t* p = scr_->inbox_words.get() + scr_->inbox_lo[s];
       for (std::uint32_t i = 0; i < len; ++i) {
         wire::decode(p, ids_[wire::src(p)], out.legacy_inbox[i]);
         p += wire::record_words(p, trailered);

@@ -63,6 +63,14 @@
 //     mode is pure bookkeeping strategy: transcripts are bit-identical
 //     either way, and a misprediction only costs one round of the slower
 //     bookkeeping;
+//   - datapath memory is O(traffic), not O(threads·n): the per-worker send
+//     histograms are epoch-stamped sparse tables (DestHist, ncc/arena.h)
+//     sized by the destinations a worker actually touches, and the trace
+//     reference-sort and overflow/bounce cursor tables materialize lazily
+//     on first use. The whole round-transient bundle (RoundScratch) can be
+//     borrowed from a cross-Network ArenaPool (Config::arena_pool) so
+//     consecutive simulations reuse warm arenas — an allocation strategy
+//     only; transcripts are bit-identical with reuse on or off;
 //   - ID -> slot resolution is O(1) (IdMap) and knowledge is a slot-indexed
 //     sparse-to-dense hybrid (Knowledge), so the send path does no hashing
 //     of std::unordered containers and no binary search; Ctx::send is
@@ -80,6 +88,7 @@
 #include <utility>
 #include <vector>
 
+#include "ncc/arena.h"
 #include "ncc/config.h"
 #include "ncc/executor.h"
 #include "ncc/id_map.h"
@@ -95,12 +104,6 @@
 namespace dgr::ncc {
 
 class Network;
-
-/// A message returned to its sender because the receiver was oversubscribed.
-struct Bounced {
-  NodeId dst = kNoNode;
-  Message msg;
-};
 
 /// Lazily-decoding reference to one delivered message, backed directly by
 /// its wire record in the engine's inbox arena (see ncc::wire in message.h
@@ -314,70 +317,12 @@ class Ctx {
 
  private:
   friend class Network;
-  struct OutArena;
   Ctx(Network& net, Slot slot, OutArena* out)
       : net_(net), slot_(slot), out_(out) {}
   Network& net_;
   Slot slot_;
   OutArena* out_;  // this worker's flat outbox arena
   int sends_ = 0;  // this node's sends this round (engine copies it out)
-};
-
-/// One worker's outbox: a single flat stream of variable-length wire
-/// records, each `2 + size` 64-bit words:
-///   word 0 — routing header: src slot | dst slot << 32
-///   word 1 — payload header: tag | size << 32 | id_mask << 40
-///   then only the `size` payload words actually in use.
-/// A one-word message costs 24 bytes instead of sizeof(Message) == 48, and
-/// appending costs one bounds check and three sequential stores. The stream
-/// is written and re-read strictly sequentially, so no per-record offsets
-/// exist; deliver() walks it with a cursor and materializes full Message
-/// structs only at their final inbox position.
-struct Ctx::OutArena {
-  std::unique_ptr<std::uint64_t[]> buf;
-  std::size_t len = 0;  // words used
-  std::size_t cap = 0;  // words allocated
-  // Per-destination send accounting, maintained by Ctx::send so the
-  // reliable-network fast path in deliver() never has to re-stream the
-  // records just to build its counting-sort histogram. Packed per entry:
-  // message count in the low 32 bits, record words in the high 32 (the
-  // dest-major inbox arena is laid out in words, so deliver() needs both).
-  // Only entries named in `touched` are ever nonzero; deliver() folds and
-  // re-zeroes exactly those, so a round costs O(destinations actually sent
-  // to), not O(n). Maintained even on lossy networks (where deliver()
-  // rebuilds counts post-drop and ignores this): set_drop_probability is a
-  // live knob, and gating the upkeep would put a branch on the reliable
-  // send path. Rounds predicted dense skip the upkeep entirely
-  // (Network::dense_round_) and deliver() re-streams the headers instead.
-  std::vector<std::uint64_t> hist;
-  // Destinations with hist[d] > 0, in first-send order (dedup by hist).
-  std::vector<Slot> touched;
-  // Slots whose body called Ctx::wake() this round. Ascending by slot: a
-  // worker walks its slice in slot order, so per-arena lists concatenate
-  // sorted across the pool's contiguous slices.
-  std::vector<Slot> wake;
-  // Max per-node sends this worker observed this round (NetStats feed;
-  // replaces the old O(n) per-round scan of a sends-per-slot array).
-  int max_send = 0;
-  // Legacy Ctx::inbox() scratch: the calling slot's wire records decoded
-  // into Messages, cached per (slot, round). Worker-private, like the rest
-  // of the arena, so the span a body receives stays valid for the whole
-  // body invocation.
-  std::vector<Message> legacy_inbox;
-  Slot legacy_slot = kNoSlot;
-  std::uint64_t legacy_round = ~std::uint64_t{0};
-
-  void clear() { len = 0; }
-
-  std::uint64_t* append(std::size_t words) {
-    if (len + words > cap) [[unlikely]] grow(words);
-    std::uint64_t* p = buf.get() + len;
-    len += words;
-    return p;
-  }
-
- private:
-  void grow(std::size_t need);  // cold: doubles capacity
 };
 
 class Network {
@@ -575,11 +520,11 @@ class Network {
   void deliver();
   /// Compat path behind Ctx::inbox(): decode slot `s`'s wire records into
   /// the worker arena's Message scratch (cached per slot and round).
-  std::span<const Message> legacy_inbox(Slot s, Ctx::OutArena& out);
+  std::span<const Message> legacy_inbox(Slot s, OutArena& out);
   InboxView make_inbox_view(Slot s) const {
-    const std::uint32_t len = inbox_len_[s];
+    const std::uint32_t len = scr_->inbox_len[s];
     const std::uint64_t* base =
-        len != 0 ? inbox_words_.get() + inbox_lo_[s] : nullptr;
+        len != 0 ? scr_->inbox_words.get() + scr_->inbox_lo[s] : nullptr;
     return InboxView(base, len, ids_.data(), !is_clique(), &inbox_gen_);
   }
   /// Cold path: re-runs the send checks in their documented order to throw
@@ -604,38 +549,14 @@ class Network {
   // first few rounds the steady-state datapath performs no allocation, and
   // per-round cost is O(traffic + frontier) — every dense O(n) sweep has
   // been replaced by touched/active lists that name exactly the entries to
-  // visit and re-zero.
-  std::vector<Ctx::OutArena> outboxes_;   // one arena per worker
-  /// Reference to a wire record in a worker outbox arena; used by both the
-  /// traced-path reference sort and the bounce spill.
-  struct EncodedRef {
-    const std::uint64_t* enc;
-    Slot src;
-  };
-  // Counting-sort histogram, packed like OutArena::hist: message count in
-  // the low 32 bits, record words in the high 32.
-  std::vector<std::uint64_t> dest_count_;
-  std::vector<Slot> touched_dests_;         // dests with dest_count_ > 0
-  std::vector<std::size_t> dest_off_;       // traced-path offsets, by dest
-  std::vector<std::size_t> dest_cursor_;    // scatter cursors
-  std::vector<EncodedRef> arena_;           // traced-path reference sort
-  /// The inbox arena: accepted wire records copied verbatim, dest-major —
-  /// each destination's records sit contiguously in arrival order, at
-  /// variable stride (wire::record_words). InboxView iterates it in place;
-  /// the legacy Ctx::inbox() shim decodes from it on demand. Overflowing
-  /// destinations get their full pre-overflow word extent and pack the
-  /// accepted records at its front (the slack is never read).
-  std::unique_ptr<std::uint64_t[]> inbox_words_;
-  std::size_t inbox_cap_ = 0;               // words allocated
-  std::vector<std::size_t> inbox_lo_;       // per-node arena word offset
-  std::vector<std::uint32_t> inbox_len_;    // per-node accepted messages
-  std::vector<Slot> inbox_dests_;  // slots with inbox_len_ > 0 (last round)
-  std::vector<Slot> bounce_srcs_;  // slots with bounces (last round)
-  // Per-node inbox write cursors, in words; bit 31 (kOvfBit) flags an
-  // oversubscribed destination so the placement pass needs no second table
-  // lookup. deliver() pass 2 guards the word extents against the flag bit
-  // before stamping any cursor, so count arithmetic can never alias it.
-  std::vector<std::uint32_t> inbox_cur_;
+  // visit and re-zero. The whole bundle lives behind one indirection
+  // (RoundScratch, ncc/arena.h) so it can be borrowed from a cross-Network
+  // ArenaPool (Config::arena_pool) and returned at destruction; pooling is
+  // pure allocation strategy — every buffer is either rewritten each round
+  // or held to an explicit between-round invariant, so transcripts are
+  // bit-identical with reuse on or off.
+  std::unique_ptr<RoundScratch> scr_;
+  ArenaPool* pool_ = nullptr;  // where scr_ returns at destruction, if set
   // Delivery generation; bumped every deliver() when the inbox arena is
   // repacked. Debug InboxViews stamp it to diagnose stale dereferences.
   std::uint64_t inbox_gen_ = 0;
@@ -660,18 +581,6 @@ class Network {
   // Per-round worker slices (indices into run_list_, or raw slots when
   // dense); written by execute_round before the job is submitted.
   std::vector<std::pair<std::size_t, std::size_t>> worker_span_;
-  // Oversubscription bookkeeping (only entries for overflowing destinations
-  // are (re)initialized each round; see deliver()).
-  std::vector<Slot> ovf_dests_;                  // this round's overflowers
-  std::vector<std::uint8_t> ovf_bitmap_;         // accept flags by arrival
-  std::vector<std::uint32_t> bitmap_off_;        // dest -> ovf_bitmap_ base
-  std::vector<const std::uint8_t*> ovf_cursor_;  // dest -> next accept flag
-  std::vector<std::uint32_t> bounce_base_;       // dest -> bounce_refs_ base
-  std::vector<std::uint32_t> bounce_cursor_;     // dest -> bounce_refs_ cursor
-  std::unique_ptr<EncodedRef[]> bounce_refs_;    // bounced msgs, dest-major
-  std::size_t bounce_cap_ = 0;
-  std::vector<std::uint32_t> overflow_idx_;      // Fisher-Yates scratch
-  std::vector<std::vector<Bounced>> bounced_;    // per source slot
 
   std::vector<Rng> node_rng_;
   std::vector<std::uint8_t> crashed_;
@@ -792,9 +701,13 @@ inline void Ctx::send(NodeId to, Message m) {
   }
   // Dense-round fast path: deliver() re-streams the record headers
   // sequentially, so the per-send histogram and first-touch upkeep would be
-  // dead work — skip them behind one predictable branch.
+  // dead work — skip them behind one predictable branch. The histogram is
+  // an epoch-stamped sparse table (DestHist): at() hands back a zeroed
+  // counter on a destination's first touch of the round, so the first-touch
+  // test below stays one compare and the table's memory stays O(touched),
+  // never O(n) per worker.
   if (!net_.dense_round_) {
-    std::uint64_t& h = out_->hist[dst];
+    std::uint64_t& h = out_->hist.at(dst);
     if (h == 0) out_->touched.push_back(dst);
     h += std::uint64_t{1} | (static_cast<std::uint64_t>(rec_len) << 32);
   }
@@ -819,7 +732,7 @@ inline void Ctx::send1(NodeId to, std::uint32_t tag, std::uint64_t word) {
     net_.send_fail(slot_, to, p, sends_);
   }
   if (!net_.dense_round_) {
-    std::uint64_t& h = out_->hist[dst];
+    std::uint64_t& h = out_->hist.at(dst);
     if (h == 0) out_->touched.push_back(dst);
     h += std::uint64_t{1} | (std::uint64_t{rec_len} << 32);
   }
@@ -858,7 +771,7 @@ inline void Ctx::send1_id(NodeId to, std::uint32_t tag, NodeId id) {
     net_.send_fail(slot_, to, p, sends_);
   }
   if (!net_.dense_round_) {
-    std::uint64_t& h = out_->hist[dst];
+    std::uint64_t& h = out_->hist.at(dst);
     if (h == 0) out_->touched.push_back(dst);
     h += std::uint64_t{1} | (static_cast<std::uint64_t>(rec_len) << 32);
   }
@@ -874,7 +787,12 @@ inline std::span<const Message> Ctx::inbox() const {
 }
 
 inline std::span<const Bounced> Ctx::bounced() const {
-  return net_.bounced_[slot_];
+  // The per-slot bounce tables are lazy — materialized by the first round
+  // that actually overflows a receiver — so a clean run answers from the
+  // empty-table branch without ever allocating O(n) vectors.
+  const auto& b = net_.scr_->bounced;
+  if (slot_ >= b.size()) return {};
+  return b[slot_];
 }
 
 inline void Ctx::wake() {

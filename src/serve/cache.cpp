@@ -2,6 +2,19 @@
 
 namespace dgr::serve {
 
+std::size_t ResultCache::entry_bytes(const CacheKey& key,
+                                     const Realization& r) {
+  // Approximate, capacity-based (what the entry RETAINS, not what it uses):
+  // the canonical degree sequence is duplicated into the key, and the
+  // realization's edge list dominates for any realized instance — 8 bytes
+  // per edge, i.e. O(sum of degrees). The constant covers the list node,
+  // index slot, and control blocks; precision is not the point, bounding
+  // the retained heap is.
+  return key.degrees.capacity() * sizeof(std::uint64_t) +
+         r.edges.capacity() * sizeof(Edge) + r.message.capacity() +
+         sizeof(Entry) + sizeof(Realization) + 128;
+}
+
 std::shared_ptr<const Realization> ResultCache::get(const CacheKey& key) {
   std::scoped_lock lk(mu_);
   auto it = index_.find(key);
@@ -11,23 +24,35 @@ std::shared_ptr<const Realization> ResultCache::get(const CacheKey& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return it->second->value;
 }
 
 void ResultCache::put(const CacheKey& key,
                       std::shared_ptr<const Realization> value) {
   if (capacity_ == 0) return;
+  const std::size_t cost = entry_bytes(key, *value);
   std::scoped_lock lk(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(value);
+    bytes_ -= it->second->bytes;
+    bytes_ += cost;
+    it->second->value = std::move(value);
+    it->second->bytes = cost;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(value));
-  index_.emplace(lru_.front().first, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+  lru_.push_front(Entry{key, std::move(value), cost});
+  index_.emplace(lru_.front().key, lru_.begin());
+  bytes_ += cost;
+  // Entry-count capacity and (when configured) the byte budget both evict
+  // from the LRU tail. The newest entry always survives — an oversized
+  // single result is served and retained rather than thrashed, and the
+  // budget re-asserts itself on the next insert.
+  while (lru_.size() > 1 &&
+         (lru_.size() > capacity_ ||
+          (byte_budget_ != 0 && bytes_ > byte_budget_))) {
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
   }
@@ -41,6 +66,8 @@ CacheStats ResultCache::stats() const {
   st.evictions = evictions_;
   st.size = lru_.size();
   st.capacity = capacity_;
+  st.bytes = bytes_;
+  st.byte_budget = byte_budget_;
   return st;
 }
 

@@ -21,14 +21,24 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
-  std::size_t size = 0;      ///< live entries
-  std::size_t capacity = 0;  ///< eviction threshold
+  std::size_t size = 0;         ///< live entries
+  std::size_t capacity = 0;     ///< eviction threshold (entries)
+  std::size_t bytes = 0;        ///< approx retained heap bytes
+  std::size_t byte_budget = 0;  ///< eviction threshold (bytes; 0 = off)
 };
 
 class ResultCache {
  public:
   /// capacity 0 disables caching entirely (every get misses, puts no-op).
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  /// byte_budget bounds the cache's approximate retained heap as well:
+  /// entries are charged their key + edge-list + message footprint, and
+  /// the LRU tail is evicted past the budget. 0 disables byte accounting
+  /// (entry-count capacity only — the historical behavior). The budget
+  /// matters at scale: 128 entries of n=256 realizations is ~1 MB, but 128
+  /// entries of n=10^6 realizations is ~10 GB, so entry-count capacity
+  /// alone stops meaning anything once request sizes grow.
+  explicit ResultCache(std::size_t capacity, std::size_t byte_budget = 0)
+      : capacity_(capacity), byte_budget_(byte_budget) {}
 
   /// nullptr on miss; a hit moves the entry to the front of the LRU order.
   std::shared_ptr<const Realization> get(const CacheKey& key);
@@ -40,12 +50,22 @@ class ResultCache {
 
   CacheStats stats() const;
 
+  /// Approximate heap footprint one (key, realization) entry retains;
+  /// exposed so callers (and tests) can budget without private math.
+  static std::size_t entry_bytes(const CacheKey& key, const Realization& r);
+
  private:
-  using Entry = std::pair<CacheKey, std::shared_ptr<const Realization>>;
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const Realization> value;
+    std::size_t bytes = 0;  // entry_bytes at insert, folded into bytes_
+  };
 
   mutable std::mutex mu_;
   std::size_t capacity_;
-  std::list<Entry> lru_;  // front = most recent
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;  // sum of live entries' bytes
+  std::list<Entry> lru_;   // front = most recent
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
       index_;
   std::uint64_t hits_ = 0;

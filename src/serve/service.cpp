@@ -14,7 +14,9 @@
 namespace dgr::serve {
 
 RealizationService::RealizationService(ServiceConfig cfg)
-    : cfg_(cfg), cache_(cfg.cache_capacity) {
+    : cfg_(cfg),
+      cache_(cfg.cache_capacity, cfg.cache_byte_budget),
+      pool_(std::max(1u, cfg.drivers)) {
   if (cfg_.drivers == 0) cfg_.drivers = 1;
   if (cfg_.batch_max == 0) cfg_.batch_max = 1;
   drivers_.reserve(cfg_.drivers);
@@ -118,7 +120,7 @@ void RealizationService::serve_group(std::vector<Pending>& batch,
   } else {
     try {
       result = std::make_shared<const Realization>(
-          cold_run(batch[lead].key, cfg_.net_threads));
+          cold_run(batch[lead].key, cfg_.net_threads, &pool_));
       cache_.put(batch[lead].key, result);
     } catch (...) {
       error = std::current_exception();
@@ -156,13 +158,15 @@ void RealizationService::serve_group(std::vector<Pending>& batch,
 }
 
 Realization RealizationService::cold_run(const CacheKey& key,
-                                         unsigned net_threads) {
+                                         unsigned net_threads,
+                                         ncc::ArenaPool* pool) {
   const std::size_t n = key.degrees.size();
   DGR_CHECK_MSG(n >= 1, "empty degree sequence");
 
   ncc::Config cfg;
   cfg.seed = key.seed;
   cfg.threads = net_threads;
+  cfg.arena_pool = pool;
   ncc::Network net(n, cfg);
 
   const auto mode = key.mode == Mode::kExact ? realize::DegreeMode::kExact

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "ncc/arena.h"
 #include "serve/cache.h"
 #include "serve/request.h"
 
@@ -48,6 +49,10 @@ struct ServiceConfig {
   /// Config::threads for each cold-run Network (its Executor lease width).
   unsigned net_threads = 1;
   std::size_t cache_capacity = 128;
+  /// Byte bound on the result cache's retained heap (0 = entry-count
+  /// capacity only). Entry-count capacity stops meaning anything once
+  /// request sizes grow — see ResultCache's constructor comment.
+  std::size_t cache_byte_budget = 0;
   /// Admission queue bound; submit() blocks while the queue is full.
   std::size_t queue_capacity = 64;
   /// Max requests one driver claims per batch (>= 1).
@@ -92,8 +97,12 @@ class RealizationService {
 
   /// The deterministic cold path, exposed for tests and benches: run one
   /// Network for the canonical request and validate the outcome. Pure
-  /// function of (key, net_threads is transcript-neutral).
-  static Realization cold_run(const CacheKey& key, unsigned net_threads);
+  /// function of (key); net_threads and pool are transcript-neutral. A
+  /// non-null pool recycles the Network's round scratch (wire arenas,
+  /// histograms) across runs — the service passes its own pool so back-to-
+  /// back cold runs on a driver stop re-faulting warm buffers.
+  static Realization cold_run(const CacheKey& key, unsigned net_threads,
+                              ncc::ArenaPool* pool = nullptr);
 
  private:
   struct Pending {
@@ -109,6 +118,7 @@ class RealizationService {
 
   ServiceConfig cfg_;
   ResultCache cache_;
+  ncc::ArenaPool pool_;  // round-scratch reuse across driver cold runs
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   // queue became non-empty / stopping

@@ -1,0 +1,172 @@
+// Arena-pool reuse: bit-identical transcripts and bounded, reclaimable
+// memory.
+//
+// Config::arena_pool recycles the whole per-Network round scratch bundle
+// (wire arenas, sparse histograms, inbox tables, overflow/bounce/trace
+// tables) across Networks. The contract under test:
+//   (i)   a pooled run's transcript is bit-for-bit identical to a fresh
+//         Network's, for any thread count, either scheduler, and across
+//         the overflow/bounce, lossy, crash and traced delivery paths;
+//   (ii)  reuse really happens (pool stats), including across Networks of
+//         DIFFERENT sizes — the bundle regrows or partially re-primes;
+//   (iii) pool memory is bounded (max_free) and reclaimable (trim()).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ncc/arena.h"
+#include "ncc/trace.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+using ncc::Ctx;
+using ncc::make_msg;
+using ncc::Slot;
+
+struct RunFingerprint {
+  testing::NetFingerprint net;
+  std::vector<std::uint64_t> inbox_digest;
+  std::vector<std::uint64_t> bounce_digest;
+
+  bool operator==(const RunFingerprint& o) const {
+    return net == o.net && inbox_digest == o.inbox_digest &&
+           bounce_digest == o.bounce_digest;
+  }
+};
+
+// Every deliver() branch in one workload: hot-set oversubscription
+// (bounce), 15% link loss (lossy streaming pass), two mid-run crashes, and
+// flood/trickle oscillation so the dense-round prediction flips both ways.
+RunFingerprint run_workload(std::size_t n, unsigned threads, bool sparse,
+                            ncc::ArenaPool* pool, bool traced = false) {
+  ncc::Config cfg;
+  cfg.seed = 909;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = threads;
+  cfg.sparse_rounds = sparse;
+  cfg.drop_probability = 0.15;
+  cfg.arena_pool = pool;
+  ncc::Network net(n, cfg);
+  ncc::Trace trace;
+  if (traced) net.set_trace(&trace);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(n, 0);
+  fp.bounce_digest.assign(n, 0);
+
+  for (int r = 0; r < 20; ++r) {
+    if (r == 4) net.crash(1);
+    if (r == 11) net.crash(static_cast<Slot>(n / 2));
+    net.round([&](Ctx& ctx) {
+      auto& in = fp.inbox_digest[ctx.slot()];
+      for (const auto m : ctx.inbox_view())
+        in = hash_mix(in, m.src(), m.word(0));
+      auto& bo = fp.bounce_digest[ctx.slot()];
+      for (const auto& b : ctx.bounced()) bo = hash_mix(bo, b.dst, b.msg.tag);
+      const auto ids = ctx.all_ids();
+      if (r % 4 < 2) {  // flood rounds: dense prediction, hot-set bounces
+        const int sends = ctx.capacity() / 2;
+        for (int i = 0; i < sends; ++i) {
+          const std::size_t pick = ctx.rng().chance(0.3)
+                                       ? ctx.rng().below(3)
+                                       : ctx.rng().below(ids.size());
+          ctx.send(ids[pick], make_msg(5).push(ctx.rng().below(1u << 18)));
+        }
+      } else if (ctx.slot() < 4) {  // trickle rounds: sparse prediction
+        ctx.send(ids[ctx.rng().below(ids.size())], make_msg(6).push(r));
+      }
+    });
+  }
+
+  fp.net = testing::net_fingerprint(net);
+  return fp;
+}
+
+TEST(ArenaPool, PooledTranscriptIdenticalToFresh) {
+  constexpr std::size_t kN = 160;
+  for (const bool sparse : {true, false}) {
+    const RunFingerprint fresh = run_workload(kN, 1, sparse, nullptr);
+    // Drive every pooled run through ONE pool so later runs consume a
+    // bundle dirtied (then sanitized) by earlier runs — including runs at
+    // a different thread count and, below, a different n.
+    ncc::ArenaPool pool;
+    for (const unsigned threads : {1u, 4u, 8u}) {
+      EXPECT_TRUE(fresh == run_workload(kN, threads, sparse, &pool))
+          << "pooled transcript diverged (threads=" << threads
+          << ", sparse=" << sparse << ")";
+    }
+    // Sanity: the workload exercised every delivery branch, and the pool
+    // really recycled bundles instead of allocating fresh ones.
+    EXPECT_GT(fresh.net.stats.messages_bounced, 0u);
+    EXPECT_GT(fresh.net.stats.messages_dropped, 0u);
+    EXPECT_GT(fresh.net.stats.messages_delivered, 0u);
+    EXPECT_EQ(pool.stats().acquires, 3u);
+    EXPECT_EQ(pool.stats().reuses, 2u);
+  }
+}
+
+TEST(ArenaPool, TracedPooledTranscriptIdenticalToFresh) {
+  constexpr std::size_t kN = 96;
+  const RunFingerprint fresh =
+      run_workload(kN, 1, true, nullptr, /*traced=*/true);
+  ncc::ArenaPool pool;
+  // First run materializes the lazy trace tables in the bundle; the second
+  // reuses them after a sanitize.
+  EXPECT_TRUE(fresh == run_workload(kN, 1, true, &pool, true));
+  EXPECT_TRUE(fresh == run_workload(kN, 4, true, &pool, true));
+  EXPECT_EQ(pool.stats().reuses, 1u);
+}
+
+// A bundle released by a big Network and re-acquired by a smaller one (and
+// vice versa) must behave exactly like fresh scratch: prepare() is
+// grow-only, sanitize() restores the between-round invariants, and the
+// stale high-slot state of the larger run is unreachable to the smaller.
+TEST(ArenaPool, ReuseAcrossDifferentSizes) {
+  ncc::ArenaPool pool;
+  const RunFingerprint big_fresh = run_workload(224, 1, true, nullptr);
+  const RunFingerprint small_fresh = run_workload(72, 1, true, nullptr);
+  EXPECT_TRUE(big_fresh == run_workload(224, 1, true, &pool));
+  EXPECT_TRUE(small_fresh == run_workload(72, 1, true, &pool));   // shrink
+  EXPECT_TRUE(big_fresh == run_workload(224, 4, true, &pool));    // regrow
+  EXPECT_EQ(pool.stats().acquires, 3u);
+  EXPECT_EQ(pool.stats().reuses, 2u);
+}
+
+TEST(ArenaPool, FreeListIsBoundedByMaxFree) {
+  ncc::ArenaPool pool(/*max_free=*/2);
+  std::vector<std::unique_ptr<ncc::RoundScratch>> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.free_count(), 0u);
+  for (auto& b : held) pool.release(std::move(b));
+  EXPECT_EQ(pool.free_count(), 2u);  // releases beyond the bound are freed
+  EXPECT_EQ(pool.stats().dropped, 3u);
+}
+
+TEST(ArenaPool, ShrinkAfterHugeRunReclaimsEverything) {
+  ncc::ArenaPool pool;
+  // A big traced run materializes every lazy table in the bundle, so the
+  // retained footprint is the full worst case for this n.
+  run_workload(1 << 12, 1, true, &pool, /*traced=*/true);
+  const std::size_t retained = pool.retained_bytes();
+  EXPECT_GT(retained, 0u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  // The retained bundle is bounded by the largest run, not the sum of all
+  // runs: a second, smaller run reuses it without meaningfully growing the
+  // pool (its different traffic may still nudge a small sparse table up a
+  // doubling, hence the slack — what must NOT happen is another O(n)).
+  run_workload(256, 1, true, &pool);
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_LE(pool.retained_bytes(), retained + (1u << 16));
+  // trim() is the reclaim knob: afterwards the pool holds nothing.
+  pool.trim();
+  EXPECT_EQ(pool.retained_bytes(), 0u);
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dgr

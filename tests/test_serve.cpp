@@ -124,6 +124,43 @@ TEST(ServeCache, CapacityZeroDisablesCaching) {
   EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
+std::shared_ptr<const Realization> big_value(std::size_t edges) {
+  auto r = std::make_shared<Realization>();
+  r->edges.resize(edges);
+  return r;
+}
+
+TEST(ServeCache, ByteBudgetEvictsLruTailIndependentlyOfEntryCount) {
+  // Generous entry capacity, tight byte budget: the byte accounting alone
+  // must do the evicting. Each big entry charges >= edges * sizeof(Edge).
+  const std::size_t per = ResultCache::entry_bytes(key_n(0), *big_value(1000));
+  ResultCache cache(/*capacity=*/64, /*byte_budget=*/per * 2);
+  cache.put(key_n(1), big_value(1000));
+  cache.put(key_n(2), big_value(1000));
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_LE(cache.stats().bytes, per * 2);
+
+  cache.put(key_n(3), big_value(1000));  // over budget: evicts LRU key 1
+  const auto st = cache.stats();
+  EXPECT_EQ(st.size, 2u);
+  EXPECT_GE(st.evictions, 1u);
+  EXPECT_LE(st.bytes, st.byte_budget);
+  EXPECT_EQ(cache.get(key_n(1)), nullptr);
+  EXPECT_NE(cache.get(key_n(3)), nullptr);
+}
+
+TEST(ServeCache, OversizedSingleEntrySurvivesItsOwnInsert) {
+  // One result bigger than the whole budget is retained (and served)
+  // rather than thrashed; it goes as soon as anything newer lands.
+  ResultCache cache(/*capacity=*/8, /*byte_budget=*/1024);
+  cache.put(key_n(1), big_value(4000));
+  EXPECT_NE(cache.get(key_n(1)), nullptr);
+  EXPECT_GT(cache.stats().bytes, cache.stats().byte_budget);
+  cache.put(key_n(2), big_value(1));
+  EXPECT_EQ(cache.get(key_n(1)), nullptr);
+  EXPECT_NE(cache.get(key_n(2)), nullptr);
+}
+
 // ---- RealizationService ------------------------------------------------
 
 TEST(ServeService, HitIsByteIdenticalToColdRun) {
