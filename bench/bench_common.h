@@ -10,11 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <thread>
 
+#include "occupancy.h"
 #include "rss.h"
 #include "ncc/config.h"
 #include "ncc/network.h"
@@ -45,28 +43,21 @@ inline double capacity_of(std::size_t n) {
 /// with the worker-thread demand it is about to impose. When that demand
 /// exceeds the machine's hardware concurrency the numbers are wall-clock
 /// lies-in-waiting (threads time-share cores), so degrade LOUDLY: print a
-/// one-time stderr warning and record "oversubscribed": 1 as a counter —
-/// custom counters land in --benchmark_out JSON, so committed baselines
-/// carry the flag and a reviewer can tell a degraded run from a real one.
+/// stderr warning per sweep and record "oversubscribed": 1 plus the
+/// machine's "cores" as counters — custom counters land in --benchmark_out
+/// JSON, so committed baselines carry the flag and a reviewer can tell a
+/// degraded run from a real one.
 inline void report_thread_occupancy(benchmark::State& state,
                                     unsigned threads) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  const bool over = hw != 0 && threads > hw;
+  const unsigned hw = hardware_cores();
+  // The container's Google Benchmark predates State::name(); the JSON
+  // counters carry the per-benchmark attribution, the warning is generic.
+  const bool over = warn_if_oversubscribed(threads, "benchmark sweep point");
   // Plain counters (no per-iteration averaging): these are properties of
   // the run, not rates.
   state.counters["threads"] = benchmark::Counter(static_cast<double>(threads));
+  state.counters["cores"] = benchmark::Counter(static_cast<double>(hw));
   state.counters["oversubscribed"] = benchmark::Counter(over ? 1.0 : 0.0);
-  if (over) {
-    static std::atomic<bool> warned{false};
-    if (!warned.exchange(true)) {
-      std::fprintf(stderr,
-                   "WARNING: benchmark requests %u worker threads but the "
-                   "machine has %u hardware threads — timings are "
-                   "oversubscribed (flagged \"oversubscribed\": 1 in the "
-                   "emitted JSON)\n",
-                   threads, hw);
-    }
-  }
 }
 
 /// Record the process's peak RSS (bytes) as a plain counter. Call after

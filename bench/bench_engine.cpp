@@ -85,6 +85,48 @@ void BM_EngineFlood(benchmark::State& state) {
   report_throughput(state, net, rounds0, msgs0);
 }
 
+// Flood with per-phase round timing enabled (Network::set_phase_timing):
+// the A/B partner of BM_EngineFlood for the detached-cost claim. With
+// timing OFF the engine takes no timestamps at all — the pair interleaves
+// in registration order, and at threads=1 the detached run must stay
+// within noise (≤1%) of this timed run minus the clock reads. Also the
+// per-phase counters land in --benchmark_out JSON ("body_s", "sort_s",
+// ...), so the engine's phase split is visible from the GB harness too.
+void BM_EngineFloodTimed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ncc::Network net(n, engine_cfg(static_cast<unsigned>(state.range(1))));
+  net.set_phase_timing(true);
+  const auto cap = static_cast<std::size_t>(net.capacity());
+  std::vector<ncc::NodeId> targets(n * cap);
+  {
+    Rng tr(99);
+    for (auto& t : targets) t = net.id_of(static_cast<ncc::Slot>(tr.below(n)));
+  }
+  const std::uint64_t rounds0 = net.stats().rounds;
+  const std::uint64_t msgs0 = net.stats().messages_sent;
+  for (auto _ : state) {
+    net.round([&](ncc::Ctx& ctx) {
+      const ncc::NodeId* t = targets.data() + ctx.slot() * cap;
+      for (std::size_t i = 0; i < cap; ++i) {
+        ctx.send(t[i], ncc::make_msg(7).push(static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  report_throughput(state, net, rounds0, msgs0);
+  const auto& ph = net.stats().phase_ns;
+  constexpr double kNs = 1e-9;
+  state.counters["body_s"] =
+      benchmark::Counter(static_cast<double>(ph.body) * kNs);
+  state.counters["sort_s"] =
+      benchmark::Counter(static_cast<double>(ph.sort) * kNs);
+  state.counters["rng_s"] =
+      benchmark::Counter(static_cast<double>(ph.rng) * kNs);
+  state.counters["placement_s"] =
+      benchmark::Counter(static_cast<double>(ph.placement) * kNs);
+  state.counters["learn_s"] =
+      benchmark::Counter(static_cast<double>(ph.learn) * kNs);
+}
+
 // Flood via the wire-level one-word fast path (Ctx::send1): identical
 // traffic and transcript to BM_EngineFlood, but no 48-byte Message
 // aggregate is built per send. The pair is the A/B for the fast path —
@@ -186,6 +228,7 @@ void EngineArgs(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_EngineFlood)->Apply(EngineArgs)->UseRealTime();
+BENCHMARK(BM_EngineFloodTimed)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineFlood1Word)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineFloodScan)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineSparse)->Apply(EngineArgs)->UseRealTime();

@@ -35,6 +35,7 @@
 #include "ncc/arena.h"
 #include "ncc/config.h"
 #include "ncc/network.h"
+#include "occupancy.h"
 #include "realization/approx_degree.h"
 #include "realization/connectivity.h"
 #include "realization/explicit_degree.h"
@@ -248,11 +249,17 @@ void emit(std::FILE* f, const Options& opt, const std::vector<Entry>& entries,
                static_cast<unsigned long long>(ps.acquires),
                static_cast<unsigned long long>(ps.reuses),
                static_cast<unsigned long long>(ps.dropped));
+  // Occupancy guard: every entry records the machine's cores and whether
+  // this run's thread demand oversubscribed them, so a committed baseline
+  // from a degraded run is self-describing.
+  const unsigned cores = dgr::bench::hardware_cores();
+  const bool over = cores != 0 && opt.threads > cores;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     std::fprintf(f,
-                 "    {\"algo\": \"%s\", \"n\": %zu, \"status\": \"%s\"",
-                 e.algo.c_str(), e.n, e.status.c_str());
+                 "    {\"algo\": \"%s\", \"n\": %zu, \"cores\": %u, "
+                 "\"oversubscribed\": %d, \"status\": \"%s\"",
+                 e.algo.c_str(), e.n, cores, over ? 1 : 0, e.status.c_str());
     if (e.status == "skipped") {
       std::fprintf(f, ", \"reason\": \"%s\"}", json_escape(e.reason).c_str());
     } else {
@@ -299,6 +306,9 @@ int main(int argc, char** argv) {
         continue;
       }
       Entry e;
+      const std::string label =
+          "bench_scale " + algo + " n=" + std::to_string(n);
+      dgr::bench::warn_if_oversubscribed(opt.threads, label.c_str());
       try {
         e = run_point(algo, n, opt, pool_ptr);
       } catch (const dgr::CheckError& ex) {

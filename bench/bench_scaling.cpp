@@ -1,0 +1,335 @@
+// bench_scaling: the committed thread-scaling trajectory of the parallel
+// delivery datapath.
+//
+// A plain-main driver (no Google Benchmark — a fixed round count per point
+// is the measurement) that sweeps worker-thread counts across the three
+// engine workload shapes, records wall time AND the engine's own per-phase
+// round breakdown (body / sort / rng / placement / learn, from
+// NetStats::phase_ns), computes speedup and parallel efficiency against
+// the threads=1 point of the same (workload, n), and emits a JSON report
+// (committed as BENCH_scaling.json).
+//
+// Workloads (same shapes as bench_engine, one-word fast-path sends, target
+// lists pre-drawn outside the timed region):
+//   flood     every node sends its full capacity() budget to uniformly
+//             random targets; ~half the destinations oversubscribe.
+//   sparse    every node sends exactly one message per round (fixed-cost
+//             dominated; the parallel tail mostly stays below its grains).
+//   overflow  every node aims half its budget at 8 hot destinations, so
+//             nearly everything bounces and the RNG pre-draw dominates.
+//
+// Occupancy guard: every sweep point that requests more threads than the
+// machine has cores warns on stderr, and every JSON entry carries "cores"
+// and "oversubscribed" — a baseline committed from a 1-core container is
+// self-describing, not silently wrong.
+//
+// --check mode is the CI gate: per-phase fields must be populated for
+// every point, and a transcript-determinism canary (per-node inbox digest
+// at the smallest n) must be bit-identical across every requested thread
+// count. Any violation exits 1 after the JSON is out.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ncc/config.h"
+#include "ncc/network.h"
+#include "occupancy.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace {
+
+using dgr::ncc::Ctx;
+using dgr::ncc::NodeId;
+using dgr::ncc::Slot;
+
+struct Options {
+  std::vector<unsigned> threads{1, 2, 4, 8};
+  std::vector<std::string> workloads{"flood", "sparse", "overflow"};
+  std::vector<std::size_t> sizes{4096, 16384};
+  std::size_t rounds = 20;
+  std::uint64_t seed = 42;
+  std::string json_path;  // empty = stdout
+  bool check = false;
+};
+
+struct Entry {
+  std::string workload;
+  std::size_t n = 0;
+  unsigned threads = 0;
+  std::size_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bounced = 0;
+  double wall_s = 0;
+  double body_s = 0;
+  double sort_s = 0;
+  double rng_s = 0;
+  double placement_s = 0;
+  double learn_s = 0;
+  double speedup = 0;     // wall(threads=1) / wall(this)
+  double efficiency = 0;  // speedup / threads
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--threads LIST] [--workloads LIST] [--n LIST]\n"
+      "          [--rounds R] [--seed S] [--json FILE] [--check]\n"
+      "  --threads   comma-separated worker counts (default 1,2,4,8)\n"
+      "  --workloads subset of flood,sparse,overflow\n"
+      "  --n         comma-separated sizes (default 4096,16384)\n"
+      "  --rounds    measured rounds per point (default 20)\n"
+      "  --check     verify per-phase fields + transcript determinism\n"
+      "  --json      output file (default stdout)\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_and_exit(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads") {
+      opt.threads.clear();
+      for (const auto& tok : split_csv(need(i)))
+        opt.threads.push_back(
+            static_cast<unsigned>(std::strtoul(tok.c_str(), nullptr, 10)));
+    } else if (a == "--workloads") {
+      opt.workloads = split_csv(need(i));
+    } else if (a == "--n") {
+      opt.sizes.clear();
+      for (const auto& tok : split_csv(need(i)))
+        opt.sizes.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    } else if (a == "--rounds") {
+      opt.rounds = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(need(i), nullptr, 10);
+    } else if (a == "--json") {
+      opt.json_path = need(i);
+    } else if (a == "--check") {
+      opt.check = true;
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (opt.threads.empty() || opt.workloads.empty() || opt.sizes.empty() ||
+      opt.rounds == 0)
+    usage_and_exit(argv[0]);
+  std::sort(opt.sizes.begin(), opt.sizes.end());
+  return opt;
+}
+
+dgr::ncc::Network make_net(std::size_t n, unsigned threads,
+                           std::uint64_t seed) {
+  dgr::ncc::Config cfg;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.initial = dgr::ncc::InitialKnowledge::kClique;
+  cfg.max_rounds = ~std::size_t{0};
+  return dgr::ncc::Network(n, cfg);
+}
+
+/// Pre-drawn target list for one workload (outside the timed region, same
+/// recipe as bench_engine so the trajectories are comparable).
+std::vector<NodeId> draw_targets(const dgr::ncc::Network& net, std::size_t n,
+                                 const std::string& workload,
+                                 std::size_t per_node) {
+  std::vector<NodeId> targets(n * per_node);
+  dgr::Rng tr(workload == "overflow" ? 7 : 99);
+  const std::size_t space = workload == "overflow" ? 8 : n;
+  for (auto& t : targets)
+    t = net.id_of(static_cast<Slot>(tr.below(space)));
+  return targets;
+}
+
+std::size_t sends_per_node(const dgr::ncc::Network& net,
+                           const std::string& workload) {
+  const auto cap = static_cast<std::size_t>(net.capacity());
+  if (workload == "flood") return cap;
+  if (workload == "overflow") return cap / 2;
+  return 1;  // sparse
+}
+
+/// One measured point. With `digest` non-null, also folds an
+/// order-sensitive per-node inbox checksum (the determinism canary) —
+/// kept out of normal timing runs so the measurement stays send+deliver.
+Entry run_point(const std::string& workload, std::size_t n, unsigned threads,
+                const Options& opt, std::vector<std::uint64_t>* digest) {
+  Entry e;
+  e.workload = workload;
+  e.n = n;
+  e.threads = threads;
+  e.rounds = opt.rounds;
+
+  auto net = make_net(n, threads, opt.seed);
+  net.set_phase_timing(true);
+  const std::size_t per_node = sends_per_node(net, workload);
+  const std::vector<NodeId> targets = draw_targets(net, n, workload, per_node);
+  if (digest) digest->assign(n, 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < opt.rounds; ++r) {
+    net.round([&](Ctx& ctx) {
+      if (digest) {
+        auto& d = (*digest)[ctx.slot()];
+        for (const auto m : ctx.inbox_view())
+          d = dgr::hash_mix(d, m.src(), m.word(0));
+        for (const auto& b : ctx.bounced())
+          d = dgr::hash_mix(d, b.dst, b.msg.tag);
+      }
+      const NodeId* t = targets.data() + ctx.slot() * per_node;
+      for (std::size_t i = 0; i < per_node; ++i)
+        ctx.send1(t[i], 7, static_cast<std::uint64_t>(i));
+    });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  e.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const auto& st = net.stats();
+  e.messages = st.messages_sent;
+  e.delivered = st.messages_delivered;
+  e.bounced = st.messages_bounced;
+  constexpr double kNs = 1e-9;
+  e.body_s = static_cast<double>(st.phase_ns.body) * kNs;
+  e.sort_s = static_cast<double>(st.phase_ns.sort) * kNs;
+  e.rng_s = static_cast<double>(st.phase_ns.rng) * kNs;
+  e.placement_s = static_cast<double>(st.phase_ns.placement) * kNs;
+  e.learn_s = static_cast<double>(st.phase_ns.learn) * kNs;
+  return e;
+}
+
+void emit(std::FILE* f, const Options& opt,
+          const std::vector<Entry>& entries) {
+  const unsigned cores = dgr::bench::hardware_cores();
+  std::fprintf(f,
+               "{\n  \"generated_by\": \"bench_scaling\",\n"
+               "  \"seed\": %llu,\n  \"rounds\": %zu,\n  \"cores\": %u,\n"
+               "  \"entries\": [\n",
+               static_cast<unsigned long long>(opt.seed), opt.rounds, cores);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    const bool over = cores != 0 && e.threads > cores;
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"n\": %zu, \"threads\": %u, "
+        "\"cores\": %u, \"oversubscribed\": %d, \"rounds\": %zu, "
+        "\"messages\": %llu, \"delivered\": %llu, \"bounced\": %llu, "
+        "\"wall_s\": %.6f, \"body_s\": %.6f, \"sort_s\": %.6f, "
+        "\"rng_s\": %.6f, \"placement_s\": %.6f, \"learn_s\": %.6f, "
+        "\"speedup\": %.3f, \"efficiency\": %.3f}%s\n",
+        e.workload.c_str(), e.n, e.threads, cores, over ? 1 : 0, e.rounds,
+        static_cast<unsigned long long>(e.messages),
+        static_cast<unsigned long long>(e.delivered),
+        static_cast<unsigned long long>(e.bounced), e.wall_s, e.body_s,
+        e.sort_s, e.rng_s, e.placement_s, e.learn_s, e.speedup, e.efficiency,
+        i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  std::vector<Entry> entries;
+  bool check_failed = false;
+
+  for (const std::string& workload : opt.workloads) {
+    for (const std::size_t n : opt.sizes) {
+      double wall_t1 = 0;
+      for (const unsigned threads : opt.threads) {
+        const std::string label = "bench_scaling " + workload +
+                                  " n=" + std::to_string(n) +
+                                  " threads=" + std::to_string(threads);
+        dgr::bench::warn_if_oversubscribed(threads, label.c_str());
+        Entry e = run_point(workload, n, threads, opt, nullptr);
+        if (threads == 1) wall_t1 = e.wall_s;
+        if (wall_t1 > 0 && e.wall_s > 0) {
+          e.speedup = wall_t1 / e.wall_s;
+          e.efficiency = e.speedup / static_cast<double>(threads);
+        }
+        std::fprintf(stderr,
+                     "bench_scaling: %-8s n=%-6zu threads=%u wall=%.3fs "
+                     "[body=%.3f sort=%.3f rng=%.3f place=%.3f learn=%.3f] "
+                     "speedup=%.2f\n",
+                     workload.c_str(), n, threads, e.wall_s, e.body_s,
+                     e.sort_s, e.rng_s, e.placement_s, e.learn_s, e.speedup);
+        if (opt.check) {
+          // Per-phase fields must be real measurements, not zeros: the
+          // phase accumulators are on for every point.
+          if (e.body_s <= 0 || e.sort_s <= 0 || e.placement_s <= 0 ||
+              (workload == "overflow" && e.rng_s <= 0)) {
+            std::fprintf(stderr,
+                         "bench_scaling: CHECK FAILED: %s has empty "
+                         "per-phase fields\n",
+                         label.c_str());
+            check_failed = true;
+          }
+        }
+        entries.push_back(std::move(e));
+      }
+    }
+
+    if (opt.check) {
+      // Transcript-determinism canary at the smallest size: the per-node
+      // inbox/bounce digests must be bit-identical for every requested
+      // thread count.
+      const std::size_t n = opt.sizes.front();
+      Options canary = opt;
+      canary.rounds = std::min<std::size_t>(opt.rounds, 10);
+      std::vector<std::uint64_t> ref;
+      run_point(workload, n, 1, canary, &ref);
+      for (const unsigned threads : opt.threads) {
+        std::vector<std::uint64_t> got;
+        run_point(workload, n, threads, canary, &got);
+        if (got != ref) {
+          std::fprintf(stderr,
+                       "bench_scaling: CHECK FAILED: %s n=%zu transcript "
+                       "differs at threads=%u\n",
+                       workload.c_str(), n, threads);
+          check_failed = true;
+        }
+      }
+    }
+  }
+
+  std::FILE* out = stdout;
+  if (!opt.json_path.empty()) {
+    out = std::fopen(opt.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_scaling: cannot open %s\n",
+                   opt.json_path.c_str());
+      return 2;
+    }
+  }
+  emit(out, opt, entries);
+  if (out != stdout) std::fclose(out);
+
+  if (check_failed) {
+    std::fprintf(stderr, "bench_scaling: checks FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "ncc/executor.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -28,8 +29,9 @@ struct Executor::Job {
   void* ctx = nullptr;
   TaskFn fn = nullptr;
   std::size_t count = 0;
-  std::size_t next = 0;  // tasks claimed (guarded by Impl::mu)
-  std::size_t done = 0;  // tasks finished (guarded by Impl::mu)
+  std::size_t chunk = 1;  // indices claimed per queue access
+  std::size_t next = 0;   // tasks claimed (guarded by Impl::mu)
+  std::size_t done = 0;   // tasks finished (guarded by Impl::mu)
   std::exception_ptr error;
   std::condition_variable cv_done;
 };
@@ -76,13 +78,15 @@ struct Executor::Impl {
       cv_work.wait(lk, [&] { return stop || !queue.empty(); });
       if (stop) return;
       Job* job = queue.front();
-      const std::size_t i = job->next++;
+      const std::size_t lo = job->next;
+      const std::size_t hi = std::min(job->count, lo + job->chunk);
+      job->next = hi;
       if (job->next >= job->count) queue.pop_front();
       lk.unlock();
-      execute(job, i, mu);
+      for (std::size_t i = lo; i < hi; ++i) execute(job, i, mu);
       lk.lock();
-      ++tasks;
-      if (++job->done == job->count) job->cv_done.notify_all();
+      tasks += hi - lo;
+      if ((job->done += hi - lo) == job->count) job->cv_done.notify_all();
     }
   }
 
@@ -129,12 +133,14 @@ void Executor::Lease::release() {
 }
 
 void Executor::run(const Lease& lease, std::size_t count, void* ctx,
-                   TaskFn fn) {
+                   TaskFn fn, std::size_t chunk) {
   DGR_CHECK_MSG(lease.exec_ == this,
                 "Executor::run with a lease from a different executor");
   if (count == 0) return;
-  if (count == 1) {
-    fn(ctx, 0);
+  if (chunk == 0) chunk = 1;
+  if (count <= chunk) {
+    // One claimer would take the whole job anyway; run it inline.
+    for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
     return;
   }
 
@@ -142,13 +148,16 @@ void Executor::run(const Lease& lease, std::size_t count, void* ctx,
   job.ctx = ctx;
   job.fn = fn;
   job.count = count;
+  job.chunk = chunk;
   Impl& im = *impl_;
   {
     std::scoped_lock lk(im.mu);
     // Workers the job can use beyond the caller itself; sized by the
-    // lease's width so a narrow client never forces a wide pool.
+    // lease's width so a narrow client never forces a wide pool. Chunked
+    // jobs have count/chunk claimable batches, not count.
+    const std::size_t batches = (count + chunk - 1) / chunk;
     const std::size_t want =
-        (count < lease.width_ ? count : std::size_t{lease.width_}) - 1;
+        (batches < lease.width_ ? batches : std::size_t{lease.width_}) - 1;
     im.ensure_workers(static_cast<unsigned>(want));
     ++im.jobs;
     im.queue.push_back(&job);
@@ -160,14 +169,16 @@ void Executor::run(const Lease& lease, std::size_t count, void* ctx,
   // reason nested run() calls cannot deadlock).
   std::unique_lock lk(im.mu);
   while (job.next < job.count) {
-    const std::size_t i = job.next++;
+    const std::size_t lo = job.next;
+    const std::size_t hi = std::min(job.count, lo + job.chunk);
+    job.next = hi;
     if (job.next >= job.count) im.unqueue(&job);
     lk.unlock();
-    Impl::execute(&job, i, im.mu);
+    for (std::size_t i = lo; i < hi; ++i) Impl::execute(&job, i, im.mu);
     lk.lock();
-    ++im.tasks;
-    ++im.caller_tasks;
-    ++job.done;
+    im.tasks += hi - lo;
+    im.caller_tasks += hi - lo;
+    job.done += hi - lo;
   }
   job.cv_done.wait(lk, [&] { return job.done == job.count; });
   const std::exception_ptr err = job.error;

@@ -96,10 +96,40 @@ class Knowledge {
   void learn_trailer(const std::uint64_t* slots, std::size_t cnt) {
     if (all_ || cnt == 0) return;
     if (dense_) {
+      // Unrolled 4-wide: four independent loads of the trailer words per
+      // iteration, with the read-modify-write of the bitset kept in
+      // program order (two trailer slots may land in the same bitset
+      // word, so the |= chain and the gained count must stay sequential —
+      // the unroll buys ILP on the loads and the bit math, not a
+      // reassociation).
+      std::uint64_t* const words = words_.data();
       std::size_t gained = 0;
-      for (std::size_t i = 0; i < cnt; ++i) {
+      std::size_t i = 0;
+      for (; i + 4 <= cnt; i += 4) {
+        const auto s0 = static_cast<Slot>(slots[i]);
+        const auto s1 = static_cast<Slot>(slots[i + 1]);
+        const auto s2 = static_cast<Slot>(slots[i + 2]);
+        const auto s3 = static_cast<Slot>(slots[i + 3]);
+        const std::uint64_t b0 = std::uint64_t{1} << (s0 & 63);
+        const std::uint64_t b1 = std::uint64_t{1} << (s1 & 63);
+        const std::uint64_t b2 = std::uint64_t{1} << (s2 & 63);
+        const std::uint64_t b3 = std::uint64_t{1} << (s3 & 63);
+        std::uint64_t& w0 = words[s0 >> 6];
+        gained += static_cast<std::size_t>((w0 & b0) == 0);
+        w0 |= b0;
+        std::uint64_t& w1 = words[s1 >> 6];
+        gained += static_cast<std::size_t>((w1 & b1) == 0);
+        w1 |= b1;
+        std::uint64_t& w2 = words[s2 >> 6];
+        gained += static_cast<std::size_t>((w2 & b2) == 0);
+        w2 |= b2;
+        std::uint64_t& w3 = words[s3 >> 6];
+        gained += static_cast<std::size_t>((w3 & b3) == 0);
+        w3 |= b3;
+      }
+      for (; i < cnt; ++i) {
         const auto s = static_cast<Slot>(slots[i]);
-        std::uint64_t& w = words_[s >> 6];
+        std::uint64_t& w = words[s >> 6];
         const std::uint64_t bit = std::uint64_t{1} << (s & 63);
         gained += static_cast<std::size_t>((w & bit) == 0);
         w |= bit;

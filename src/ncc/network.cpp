@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <iterator>
@@ -42,6 +43,23 @@ inline std::size_t pk_words(std::uint64_t packed) {
 /// full sweeps — at that density the O(n) streaming pass is cheaper than
 /// k log k sorting and cache-random stores.
 constexpr std::size_t kDenseSweep = 16;
+
+/// Monotonic timestamp for the per-phase round breakdown (ncc/stats.h).
+/// Only called while phase timing is on (a telemetry sink attached, or
+/// Network::set_phase_timing); detached rounds never read a clock.
+inline std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Delivery-tail parallelism grains. Below these the executor dispatch
+/// overhead dwarfs the pass itself, so the serial path runs: placement and
+/// the learn pass go parallel from ~2048 inbox words, the overflow
+/// acceptance pre-draw from ~512 oversubscribed arrivals.
+constexpr std::size_t kParallelDeliverWords = 2048;
+constexpr std::size_t kParallelOvfArrivals = 512;
 
 /// Grow-by-doubling for the round-scratch buffers whose contents are fully
 /// rewritten every round — old contents are deliberately discarded.
@@ -331,6 +349,11 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
   // be processed in parallel; all randomness is per-slot, so the transcript
   // is identical for any thread count. Tiny active sets skip the barrier.
   sparse_dispatch_ = round_list_ != nullptr;
+  // Per-phase timing (RoundSample::phase_ns / NetStats::phase_ns): one
+  // cached-flag branch per phase boundary when detached, no clock reads.
+  const bool timed = telemetry_ != nullptr || phase_timing_;
+  if (!timed) round_ns_ = PhaseNanos{};
+  const std::uint64_t t_body = timed ? mono_ns() : 0;
   {
     // in_body_ guards the referee-only knobs (set_drop_probability)
     // against mid-body flips: it must read true exactly while bodies may
@@ -373,6 +396,7 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
           });
     }
   }
+  if (timed) round_ns_.body = mono_ns() - t_body;
 
   deliver();
   ++stats_.rounds;
@@ -394,6 +418,8 @@ void Network::execute_round(std::size_t items, void* body, RoundThunk thunk) {
 void Network::deliver() {
   RoundScratch& sc = *scr_;
   Rng delivery_rng(hash_mix(cfg_.seed, 0xDE11FE12ULL, stats_.rounds));
+  const bool timed = telemetry_ != nullptr || phase_timing_;
+  std::uint64_t tmark = timed ? mono_ns() : 0;
 
   // The inbox arena is about to be repacked: every InboxView handed out for
   // the finished round is now stale (debug builds diagnose dereferences).
@@ -560,20 +586,12 @@ void Network::deliver() {
     // First overflow on this scratch materializes the O(n) cursor tables;
     // a run that never oversubscribes a receiver never allocates them.
     sc.ensure_overflow(n_);
-    // Accept a uniformly random cap-sized subset, preserving source order
-    // among the accepted. The scratch is reused across destinations/rounds.
-    sc.overflow_idx.resize(m);
-    std::iota(sc.overflow_idx.begin(), sc.overflow_idx.end(), 0u);
-    for (std::size_t i = 0; i < cap; ++i) {
-      const std::size_t j =
-          i + static_cast<std::size_t>(delivery_rng.below(m - i));
-      std::swap(sc.overflow_idx[i], sc.overflow_idx[j]);
-    }
-    const std::size_t boff = sc.ovf_bitmap.size();
-    sc.bitmap_off[d] = static_cast<std::uint32_t>(boff);
-    sc.ovf_bitmap.resize(boff + m);  // new bytes value-initialize to 0
-    for (std::size_t i = 0; i < cap; ++i)
-      sc.ovf_bitmap[boff + sc.overflow_idx[i]] = 1;
+    // Reserve this destination's acceptance-bitmap region. The actual
+    // subset draws are deferred to the pre-draw step below so worker
+    // threads can replay them without perturbing the stream; deferral is
+    // stream-equivalent because this layout loop consumes no randomness.
+    sc.bitmap_off[d] = static_cast<std::uint32_t>(sc.ovf_bitmap.size());
+    sc.ovf_bitmap.resize(sc.ovf_bitmap.size() + m);  // value-initializes to 0
     sc.bounce_base[d] = static_cast<std::uint32_t>(bounce_total);
     sc.bounce_cursor[d] = static_cast<std::uint32_t>(bounce_total);
     bounce_total += m - cap;
@@ -603,6 +621,61 @@ void Network::deliver() {
     grow_discard(sc.bounce_refs, sc.bounce_cap, bounce_total, 256);
   if (sc.inbox_cap < layout_words)
     grow_discard(sc.inbox_words, sc.inbox_cap, layout_words, 2048);
+  if (timed) {
+    round_ns_.sort = mono_ns() - tmark;
+    tmark = mono_ns();
+  }
+
+  // Overflow-acceptance pre-draw (the "rng" phase): one partial
+  // Fisher-Yates per oversubscribed destination, in destination-slot order
+  // — the same draws, in the same stream positions, the seed engine made
+  // inline during layout. Small rounds draw serially. Large rounds
+  // snapshot the stream per destination with a serial prefix scan that
+  // advances delivery_rng through exactly the draw sequence the serial
+  // path would consume (below() rejects and redraws, so the raw-word count
+  // is data-dependent — the skip-ahead must execute the draw arithmetic,
+  // not jump), then replay the snapshots on worker tasks over contiguous
+  // destination ranges with disjoint bitmap regions. Bit-identical at any
+  // thread count by construction.
+  if (!sc.ovf_dests.empty()) {
+    const std::size_t ovf_n = sc.ovf_dests.size();
+    const bool par_rng = threads_ > 1 && ovf_n > 1 &&
+                         sc.ovf_bitmap.size() >= kParallelOvfArrivals;
+    if (!par_rng) {
+      for (const Slot d : sc.ovf_dests)
+        draw_overflow_bitmap(d, delivery_rng, sc.overflow_idx);
+    } else {
+      ovf_rng_.clear();
+      for (const Slot d : sc.ovf_dests) {
+        ovf_rng_.push_back(delivery_rng);
+        const std::size_t m = pk_count(sc.dest_count[d]);
+        for (std::size_t i = 0; i < cap; ++i) delivery_rng.below(m - i);
+      }
+      // Contiguous destination ranges of ~equal arrival totals (the draw
+      // and the bitmap fill are O(arrivals)); one range per executor task.
+      const auto tasks = std::min<std::size_t>(threads_, ovf_n);
+      const std::size_t total = sc.ovf_bitmap.size();
+      ovf_part_.assign(tasks + 1, ovf_n);
+      ovf_part_[0] = 0;
+      std::size_t acc = 0;
+      for (std::size_t i = 0, t = 1; i < ovf_n && t < tasks; ++i) {
+        acc += pk_count(sc.dest_count[sc.ovf_dests[i]]);
+        while (t < tasks && acc * tasks >= t * total) ovf_part_[t++] = i + 1;
+      }
+      if (ovf_idx_w_.size() < tasks) ovf_idx_w_.resize(tasks);
+      Executor::instance().parallel_for(lease_, tasks, [&](std::size_t tk) {
+        std::vector<std::uint32_t>& idx = ovf_idx_w_[tk];
+        for (std::size_t i = ovf_part_[tk]; i < ovf_part_[tk + 1]; ++i) {
+          Rng r = ovf_rng_[i];
+          draw_overflow_bitmap(sc.ovf_dests[i], r, idx);
+        }
+      });
+    }
+  }
+  if (timed) {
+    round_ns_.rng = mono_ns() - tmark;
+    tmark = mono_ns();
+  }
   // In clique mode every node already knows every ID: skip the per-message
   // knowledge update (and its random access into know_) entirely.
   const bool learning = !is_clique();
@@ -617,26 +690,52 @@ void Network::deliver() {
   // trace attached, messages are reference-sorted per destination first so
   // trace events keep the seed engine's exact dest-major order.
   if (!trace_) {
-    for (const auto& out : sc.outboxes) {
-      const std::uint64_t* p = out.buf.get();
-      const std::uint64_t* const end = p + out.len;
-      while (p < end) {
-        const std::uint64_t* rec = p;
-        const std::size_t rl = wire::record_words(p, trailered);
-        p += rl;
-        const Slot dst = wire::dst(rec);
-        if (dst == kNoSlot) continue;
-        const std::uint32_t cur = sc.inbox_cur[dst];
-        if (cur & kOvfBit) {
-          if (*sc.ovf_cursor[dst]++ == 0) {
-            sc.bounce_refs[sc.bounce_cursor[dst]++] = {rec, wire::src(rec)};
-            continue;
+    // Parallel placement: each task owns a contiguous destination-slot
+    // range, so every destination's cursor and inbox slice has exactly one
+    // writer. Tasks re-stream all outbox headers and place only their own
+    // range, which preserves each destination's arrival order (global
+    // source order) — the transcript is bit-identical to the serial walk.
+    // Ranges are cut at ~equal inbox-word shares from the layout prefix
+    // sums, so the re-stream is the only duplicated work.
+    const bool par_place = threads_ > 1 && sc.touched_dests.size() > 1 &&
+                           layout_words >= kParallelDeliverWords;
+    if (!par_place) {
+      for (const auto& out : sc.outboxes) {
+        const std::uint64_t* p = out.buf.get();
+        const std::uint64_t* const end = p + out.len;
+        while (p < end) {
+          const std::uint64_t* rec = p;
+          const std::size_t rl = wire::record_words(p, trailered);
+          p += rl;
+          const Slot dst = wire::dst(rec);
+          if (dst == kNoSlot) continue;
+          const std::uint32_t cur = sc.inbox_cur[dst];
+          if (cur & kOvfBit) {
+            if (*sc.ovf_cursor[dst]++ == 0) {
+              sc.bounce_refs[sc.bounce_cursor[dst]++] = {rec, wire::src(rec)};
+              continue;
+            }
           }
+          sc.inbox_cur[dst] = cur + static_cast<std::uint32_t>(rl);
+          std::uint64_t* q = inbox + (cur & ~kOvfBit);
+          for (std::size_t i = 0; i < rl; ++i) q[i] = rec[i];
         }
-        sc.inbox_cur[dst] = cur + static_cast<std::uint32_t>(rl);
-        std::uint64_t* q = inbox + (cur & ~kOvfBit);
-        for (std::size_t i = 0; i < rl; ++i) q[i] = rec[i];
       }
+    } else {
+      const std::size_t tasks = threads_;
+      place_part_.assign(tasks + 1, static_cast<Slot>(n_));
+      place_part_[0] = 0;
+      for (std::size_t t = 1; t < tasks; ++t) {
+        const std::size_t target = layout_words * t / tasks;
+        const auto it = std::lower_bound(
+            sc.touched_dests.begin(), sc.touched_dests.end(), target,
+            [&](Slot d, std::size_t tgt) { return sc.inbox_lo[d] < tgt; });
+        place_part_[t] =
+            it == sc.touched_dests.end() ? static_cast<Slot>(n_) : *it;
+      }
+      Executor::instance().parallel_for(lease_, tasks, [&](std::size_t t) {
+        place_dest_range(place_part_[t], place_part_[t + 1], trailered);
+      });
     }
     for (const Slot d : sc.ovf_dests) {
       const std::size_t lo = sc.bounce_base[d];
@@ -701,6 +800,10 @@ void Network::deliver() {
   }
   stats_.messages_delivered += accept_msgs;
   stats_.messages_bounced += bounce_total;
+  if (timed) {
+    round_ns_.placement = mono_ns() - tmark;
+    tmark = mono_ns();
+  }
 
   // Knowledge post-pass, dest-major over the contiguous inbox arena:
   // delivery teaches the receiver the sender's ID plus every ID word in the
@@ -714,28 +817,33 @@ void Network::deliver() {
   // (Knowledge::learn_trailer) — send-side checks resolved every forwarded
   // ID's slot already, so the pass never touches the IdMap.
   if (learning) {
-    for (const Slot d : sc.touched_dests) {
-      Knowledge& k = know_[d];
-      const std::uint64_t* p = inbox + sc.inbox_lo[d];
-      const std::uint32_t len = sc.inbox_len[d];
-      for (std::uint32_t i = 0; i < len; ++i) {
-        k.learn_slot(wire::src(p));
-        const unsigned mask = wire::id_mask(p);
-        const std::size_t nw = wire::size(p);
-        std::size_t tw = 0;
-        if (mask) {
-          const std::uint64_t* tp = p + wire::kHeaderWords + nw;
-          tw = wire::trailer_words(static_cast<std::uint8_t>(mask));
-          k.learn_trailer(tp, tw);
-          // Refresh the (ID, slot) hot cache with the record's last ID word
-          // — the common re-verified case is "the ID I just received".
-          const auto last = static_cast<std::size_t>(std::bit_width(mask)) - 1;
-          k.set_hot(static_cast<NodeId>(p[wire::kHeaderWords + last]),
-                    static_cast<Slot>(tp[tw - 1]));
-        }
-        p += wire::kHeaderWords + nw + tw;
-      }
+    // Knowledge is per-destination state, so per-destination tasks are
+    // race-free. The chunked claim keeps a skewed fan-in (one destination
+    // holding most of the traffic) from serializing the pass behind one
+    // fat static slice: tasks that finish their light destinations early
+    // keep claiming more from the shared queue.
+    const bool par_learn = threads_ > 1 && sc.touched_dests.size() > 1 &&
+                           layout_words >= kParallelDeliverWords;
+    if (!par_learn) {
+      for (const Slot d : sc.touched_dests) learn_dest(d, inbox);
+    } else {
+      const std::size_t cnt = sc.touched_dests.size();
+      const std::size_t chunk =
+          std::max<std::size_t>(1, cnt / (std::size_t{threads_} * 8));
+      Executor::instance().parallel_for(
+          lease_, cnt,
+          [&](std::size_t i) { learn_dest(sc.touched_dests[i], inbox); },
+          chunk);
     }
+  }
+  if (timed) {
+    // A skipped pass (clique mode) reports zero, not the branch overhead.
+    round_ns_.learn = learning ? mono_ns() - tmark : 0;
+    stats_.phase_ns.body += round_ns_.body;
+    stats_.phase_ns.sort += round_ns_.sort;
+    stats_.phase_ns.rng += round_ns_.rng;
+    stats_.phase_ns.placement += round_ns_.placement;
+    stats_.phase_ns.learn += round_ns_.learn;
   }
 
   // Tail — compute the next round's frontier and restore the between-round
@@ -811,7 +919,90 @@ void Network::deliver() {
     smp.dense_fast_path = dense_round_;
     smp.dense_sweep = dense_sweep;
     smp.sparse_dispatch = sparse_dispatch_;
+    smp.phase_ns = round_ns_;
     telemetry_->on_round(smp);
+  }
+}
+
+// One parallel-placement task: re-stream every outbox arena in global
+// source order, placing only the records whose destination falls in
+// [dst_lo, dst_hi). Tombstoned records (dst == kNoSlot) fail the range
+// check for every task, since ranges never extend past n_. Each
+// destination's inbox_cur / ovf_cursor / bounce_cursor has exactly one
+// writing task, so no synchronization is needed and per-destination
+// arrival order matches the serial walk exactly.
+void Network::place_dest_range(Slot dst_lo, Slot dst_hi, bool trailered) {
+  RoundScratch& sc = *scr_;
+  std::uint64_t* const inbox = sc.inbox_words.get();
+  for (const auto& out : sc.outboxes) {
+    const std::uint64_t* p = out.buf.get();
+    const std::uint64_t* const end = p + out.len;
+    while (p < end) {
+      const std::uint64_t* rec = p;
+      const std::size_t rl = wire::record_words(p, trailered);
+      p += rl;
+      const Slot dst = wire::dst(rec);
+      if (dst < dst_lo || dst >= dst_hi) continue;
+      const std::uint32_t cur = sc.inbox_cur[dst];
+      if (cur & kOvfBit) {
+        if (*sc.ovf_cursor[dst]++ == 0) {
+          sc.bounce_refs[sc.bounce_cursor[dst]++] = {rec, wire::src(rec)};
+          continue;
+        }
+      }
+      sc.inbox_cur[dst] = cur + static_cast<std::uint32_t>(rl);
+      std::uint64_t* q = inbox + (cur & ~kOvfBit);
+      for (std::size_t i = 0; i < rl; ++i) q[i] = rec[i];
+    }
+  }
+}
+
+// Draw destination d's accepted capacity-sized subset (uniform via partial
+// Fisher-Yates over arrival indices, preserving source order among the
+// accepted) and mark it in d's region of the acceptance bitmap. `rng` is
+// either the live delivery stream (serial path) or a snapshot of it taken
+// at exactly this destination's draw position (parallel replay) — both
+// consume the identical below() sequence.
+void Network::draw_overflow_bitmap(Slot d, Rng& rng,
+                                   std::vector<std::uint32_t>& idx_scratch) {
+  RoundScratch& sc = *scr_;
+  const auto cap = static_cast<std::size_t>(capacity_);
+  const std::size_t m = pk_count(sc.dest_count[d]);
+  idx_scratch.resize(m);
+  std::iota(idx_scratch.begin(), idx_scratch.end(), 0u);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(m - i));
+    std::swap(idx_scratch[i], idx_scratch[j]);
+  }
+  const std::size_t boff = sc.bitmap_off[d];
+  for (std::size_t i = 0; i < cap; ++i) sc.ovf_bitmap[boff + idx_scratch[i]] = 1;
+}
+
+// One destination's slice of the knowledge learn pass: walk its contiguous
+// inbox records, teaching it each sender's ID plus every ID word carried in
+// a payload trailer. Touches only know_[d], so per-destination tasks are
+// race-free.
+void Network::learn_dest(Slot d, const std::uint64_t* inbox) {
+  RoundScratch& sc = *scr_;
+  Knowledge& k = know_[d];
+  const std::uint64_t* p = inbox + sc.inbox_lo[d];
+  const std::uint32_t len = sc.inbox_len[d];
+  for (std::uint32_t i = 0; i < len; ++i) {
+    k.learn_slot(wire::src(p));
+    const unsigned mask = wire::id_mask(p);
+    const std::size_t nw = wire::size(p);
+    std::size_t tw = 0;
+    if (mask) {
+      const std::uint64_t* tp = p + wire::kHeaderWords + nw;
+      tw = wire::trailer_words(static_cast<std::uint8_t>(mask));
+      k.learn_trailer(tp, tw);
+      // Refresh the (ID, slot) hot cache with the record's last ID word
+      // — the common re-verified case is "the ID I just received".
+      const auto last = static_cast<std::size_t>(std::bit_width(mask)) - 1;
+      k.set_hot(static_cast<NodeId>(p[wire::kHeaderWords + last]),
+                static_cast<Slot>(tp[tw - 1]));
+    }
+    p += wire::kHeaderWords + nw + tw;
   }
 }
 

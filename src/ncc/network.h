@@ -50,6 +50,22 @@
 //     overflow throws before any delivery events). The delivery-time learn
 //     pass runs dest-major over the records' contiguous ID-slot trailers
 //     (Knowledge::learn_trailer), never touching the IdMap;
+//   - the delivery tail itself parallelizes across the executor once a
+//     round carries enough traffic (threads > 1): the placement pass runs
+//     as per-worker jobs over contiguous destination ranges cut from the
+//     counting-sort prefix sums (each worker re-streams the outbox headers
+//     but copies only its range's records, so every per-destination cursor
+//     and inbox slice has exactly one writer and per-destination arrival
+//     order — global source-slot order — is preserved verbatim); the learn
+//     pass fans out one task per touched destination, claimed in chunks
+//     (knowledge tables are per-destination, so tasks never share state);
+//     and the overflow-acceptance bitmap pre-draw snapshots the delivery
+//     RNG at each overflowing destination's draw block in a cheap serial
+//     prefix scan, then per-worker jobs replay their destinations' draws
+//     from the snapshots — bit-identical to the serial stream. Traced runs
+//     keep the serial reference-sort compat path for placement. All three
+//     are scheduling choices only: transcripts stay bit-identical at any
+//     thread count (tests/test_parallel_deliver.cpp pins this);
 //   - every per-round sweep is list-driven: touched destinations, bounce
 //     sources, and the active frontier name exactly the entries to visit
 //     and re-zero, so a round costs O(traffic + frontier), not O(n) (near-
@@ -444,6 +460,14 @@ class Network {
   void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
   TelemetrySink* telemetry() const { return telemetry_; }
 
+  /// Per-phase wall-time breakdown (NetStats::phase_ns, RoundSample::
+  /// phase_ns) without attaching a telemetry sink — the thread-scaling
+  /// bench uses this. Timing is otherwise on exactly while a sink is
+  /// attached; when both are off the engine reads no clocks at all
+  /// (detached cost: a few predictable branches per round).
+  void set_phase_timing(bool on) { phase_timing_ = on; }
+  bool phase_timing() const { return phase_timing_; }
+
   /// Attach (or detach with nullptr) a message-level trace. The Network
   /// does not own the trace; it must outlive the attachment.
   void set_trace(Trace* trace) { trace_ = trace; }
@@ -518,6 +542,18 @@ class Network {
   void run_slots(std::size_t lo, std::size_t hi, unsigned arena, void* body,
                  RoundThunk thunk);
   void deliver();
+  /// Parallel-placement worker: walk every outbox arena in global source
+  /// order and place only the records whose destination slot falls in
+  /// [dst_lo, dst_hi) — each destination's cursors and inbox slice have
+  /// exactly one writer, and per-destination arrival order is preserved.
+  void place_dest_range(Slot dst_lo, Slot dst_hi, bool trailered);
+  /// Overflow bitmap fill for one destination: the partial Fisher-Yates
+  /// subset draw from `rng` (caller positions it — the shared delivery
+  /// stream serially, or a per-destination snapshot on the parallel path).
+  void draw_overflow_bitmap(Slot d, Rng& rng,
+                            std::vector<std::uint32_t>& idx_scratch);
+  /// Learn pass for one destination's contiguous inbox slice.
+  void learn_dest(Slot d, const std::uint64_t* inbox);
   /// Compat path behind Ctx::inbox(): decode slot `s`'s wire records into
   /// the worker arena's Message scratch (cached per slot and round).
   std::span<const Message> legacy_inbox(Slot s, OutArena& out);
@@ -581,6 +617,20 @@ class Network {
   // Per-round worker slices (indices into run_list_, or raw slots when
   // dense); written by execute_round before the job is submitted.
   std::vector<std::pair<std::size_t, std::size_t>> worker_span_;
+
+  // Parallel-delivery scratch (threads_ > 1 only). ovf_rng_ holds the
+  // delivery-stream snapshot at each overflowing destination's draw block
+  // (the seeded skip-ahead the parallel pre-draw replays from); ovf_part_
+  // and place_part_ are the per-task partition boundaries; ovf_idx_w_ is
+  // the per-task Fisher-Yates index scratch (worker-private, O(max m)).
+  std::vector<Rng> ovf_rng_;
+  std::vector<std::size_t> ovf_part_;
+  std::vector<Slot> place_part_;
+  std::vector<std::vector<std::uint32_t>> ovf_idx_w_;
+  // Per-round phase times (written only while timing is on; see
+  // set_phase_timing). Folded into stats_.phase_ns and the RoundSample.
+  PhaseNanos round_ns_;
+  bool phase_timing_ = false;
 
   std::vector<Rng> node_rng_;
   std::vector<std::uint8_t> crashed_;

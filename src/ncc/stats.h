@@ -7,6 +7,24 @@
 
 namespace dgr::ncc {
 
+/// Monotonic-clock nanoseconds attributed to each delivery-datapath phase:
+/// the round bodies, the counting-sort/layout passes, the overflow RNG
+/// pre-draw, record placement, and the knowledge learn pass. Only populated
+/// while phase timing is on (a telemetry sink attached, or
+/// Network::set_phase_timing(true)); otherwise every field stays zero and
+/// the engine takes no timestamps at all. Wall-clock measurements, NOT part
+/// of the transcript: values differ run to run and across thread counts,
+/// so determinism fingerprints must never compare them.
+struct PhaseNanos {
+  std::uint64_t body = 0;       ///< round-body dispatch (send side)
+  std::uint64_t sort = 0;       ///< drop filter + counting sort + layout
+  std::uint64_t rng = 0;        ///< overflow-acceptance bitmap pre-draw
+  std::uint64_t placement = 0;  ///< record copy into the dest-major inbox
+  std::uint64_t learn = 0;      ///< dest-major knowledge learn pass
+
+  std::uint64_t total() const { return body + sort + rng + placement + learn; }
+};
+
 struct NetStats {
   std::uint64_t rounds = 0;
   std::uint64_t messages_sent = 0;       ///< accepted by the engine
@@ -18,6 +36,10 @@ struct NetStats {
 
   /// Rounds attributed to named phases via ScopedRounds.
   std::map<std::string, std::uint64_t> scope_rounds;
+
+  /// Cumulative per-phase wall time (see PhaseNanos): zero unless phase
+  /// timing is on. Excluded from transcript fingerprints by design.
+  PhaseNanos phase_ns;
 };
 
 }  // namespace dgr::ncc

@@ -12,12 +12,17 @@
 // takes effect from the next round. This is exactly how the scenario
 // orchestrator (src/scenario/) injects its compiled fault schedule.
 //
-// Cost when detached: a single predictable branch per round; none of the
-// sample fields require extra bookkeeping on the hot path (every value is
-// already computed by the delivery pipeline).
+// Cost when detached: a handful of predictable branches per round (the
+// sink-null check plus one per phase-timer boundary, all on the same cached
+// flag) and no per-message work; none of the sample fields require extra
+// bookkeeping on the hot path (every value is already computed by the
+// delivery pipeline), and no clock is read while detached. bench_engine's
+// flood A/B pins the detached overhead at threads=1.
 #pragma once
 
 #include <cstdint>
+
+#include "ncc/stats.h"
 
 namespace dgr::ncc {
 
@@ -45,6 +50,12 @@ struct RoundSample {
   bool dense_fast_path = false;  ///< send-side histogram upkeep was bypassed
   bool dense_sweep = false;      ///< delivery used sequential O(n) sweeps
   bool sparse_dispatch = false;  ///< bodies ran on the active list only
+
+  /// This round's per-phase wall time (body / sort / rng / placement /
+  /// learn; ncc/stats.h). Wall-clock measurement, NOT transcript content —
+  /// values vary run to run and with the thread count, so byte-determinism
+  /// consumers must not serialize them (same rule as the strategy flags).
+  PhaseNanos phase_ns;
 };
 
 /// Attach with Network::set_telemetry(&sink); detach with nullptr. The

@@ -1,0 +1,330 @@
+// The parallel delivery tail (PR 8): placement, the knowledge learn pass,
+// and the overflow-acceptance pre-draw all fan out across the process-wide
+// executor once a round's traffic clears the parallelism grains — and the
+// transcript contract says nobody may be able to tell. These tests drive
+// workloads heavy enough to take every parallel path (the grains are ~2048
+// inbox words / ~512 oversubscribed arrivals) and pin the full observable
+// state bit-identical across thread counts {1,2,4,8}, sparse/dense
+// scheduling, traced/untraced delivery, and overflow policies — including
+// a skewed fan-in where one destination draws ~90% of all traffic. The
+// per-phase timing satellite is covered at the bottom: populated while
+// timing is on, all-zero (no clocks read) when detached.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ncc/telemetry.h"
+#include "ncc/trace.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace dgr {
+namespace {
+
+using ncc::Ctx;
+using ncc::make_msg;
+using ncc::NodeId;
+using ncc::Slot;
+
+// Same full-fidelity shape as test_engine_determinism.cpp: engine
+// fingerprint plus order-sensitive inbox/bounce checksums per node.
+struct RunFingerprint {
+  testing::NetFingerprint net;
+  std::vector<std::uint64_t> inbox_digest;
+  std::vector<std::uint64_t> bounce_digest;
+
+  const ncc::NetStats& stats() const { return net.stats; }
+
+  bool operator==(const RunFingerprint& o) const {
+    return net == o.net && inbox_digest == o.inbox_digest &&
+           bounce_digest == o.bounce_digest;
+  }
+};
+
+// Heavy clique flood with a 4-node hot set: every round moves ~n*cap/2
+// messages (far past the placement grain) and the hot destinations
+// oversubscribe by an order of magnitude (past the pre-draw grain), so the
+// parallel placement AND parallel RNG-replay paths both run at threads>1.
+RunFingerprint run_flood_overflow(unsigned threads, bool traced) {
+  constexpr std::size_t kN = 512;
+  ncc::Config cfg;
+  cfg.seed = 814;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = threads;
+  ncc::Network net(kN, cfg);
+  ncc::Trace trace;
+  if (traced) net.set_trace(&trace);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(kN, 0);
+  fp.bounce_digest.assign(kN, 0);
+  const int sends = net.capacity() / 2;
+  for (int r = 0; r < 6; ++r) {
+    net.round([&](Ctx& ctx) {
+      auto& in = fp.inbox_digest[ctx.slot()];
+      for (const auto m : ctx.inbox_view()) in = hash_mix(in, m.src(), m.word(0));
+      auto& bo = fp.bounce_digest[ctx.slot()];
+      for (const auto& b : ctx.bounced()) bo = hash_mix(bo, b.dst, b.msg.tag);
+      const auto ids = ctx.all_ids();
+      for (int i = 0; i < sends; ++i) {
+        const std::size_t pick = ctx.rng().chance(0.25)
+                                     ? ctx.rng().below(4)
+                                     : ctx.rng().below(ids.size());
+        ctx.send1(ids[pick], 5, ctx.rng().below(1u << 20));
+      }
+    });
+  }
+  fp.net = testing::net_fingerprint(net);
+  return fp;
+}
+
+// Skewed fan-in: ~90% of every round's traffic lands on one destination.
+// The word-balanced placement partition degenerates (one range holds
+// nearly all the words), the hot destination's overflow draw dominates the
+// pre-draw, and the chunked learn claim has one fat task — the exact
+// shapes the dynamic claiming exists for.
+RunFingerprint run_skewed_fan_in(unsigned threads, bool traced) {
+  constexpr std::size_t kN = 384;
+  ncc::Config cfg;
+  cfg.seed = 4242;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = threads;
+  ncc::Network net(kN, cfg);
+  ncc::Trace trace;
+  if (traced) net.set_trace(&trace);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(kN, 0);
+  fp.bounce_digest.assign(kN, 0);
+  const int sends = net.capacity() / 2;
+  for (int r = 0; r < 6; ++r) {
+    net.round([&](Ctx& ctx) {
+      auto& in = fp.inbox_digest[ctx.slot()];
+      for (const auto m : ctx.inbox_view()) in = hash_mix(in, m.src(), m.word(0));
+      auto& bo = fp.bounce_digest[ctx.slot()];
+      for (const auto& b : ctx.bounced()) bo = hash_mix(bo, b.dst, b.msg.tag);
+      const auto ids = ctx.all_ids();
+      for (int i = 0; i < sends; ++i) {
+        const std::size_t pick = ctx.rng().chance(0.9)
+                                     ? 0
+                                     : ctx.rng().below(ids.size());
+        ctx.send1(ids[pick], 3, ctx.rng().below(1u << 18));
+      }
+    });
+  }
+  fp.net = testing::net_fingerprint(net);
+  return fp;
+}
+
+// Path-relay gossip on NCC0 knowledge (the learn pass actually runs):
+// every node relays to its path successor its own ID plus everything it
+// heard last round, batched 4 IDs to a trailer. IDs accumulate down the
+// path, so per-round trailered traffic grows past the learn-pass parallel
+// grain within a few rounds while knowledge spreads node by node. The body
+// is inactive-silent (a node with an empty inbox after round 0 sends
+// nothing), so it runs identically under both schedulers.
+RunFingerprint run_gossip_relay(unsigned threads, bool sparse, bool traced) {
+  constexpr std::size_t kN = 256;
+  ncc::Config cfg;
+  cfg.seed = 99;
+  cfg.threads = threads;
+  cfg.sparse_rounds = sparse;
+  ncc::Network net(kN, cfg);
+  ncc::Trace trace;
+  if (traced) net.set_trace(&trace);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(kN, 0);
+  fp.bounce_digest.assign(kN, 0);
+  for (Slot s = 0; s < static_cast<Slot>(kN); ++s) net.wake(s);
+  for (int r = 0; r < 16 && net.has_active(); ++r) {
+    net.round_active([&](Ctx& ctx) {
+      auto& in = fp.inbox_digest[ctx.slot()];
+      auto& bo = fp.bounce_digest[ctx.slot()];
+      for (const auto& b : ctx.bounced()) bo = hash_mix(bo, b.dst, b.msg.tag);
+      // Collect the ID words delivered this round (learned by last round's
+      // learn pass, so forwarding them is KT0-legal now).
+      std::vector<NodeId> heard;
+      bool active = r == 0;
+      for (const auto m : ctx.inbox_view()) {
+        active = true;
+        in = hash_mix(in, m.src(), m.tag());
+        for (std::size_t w = 0; w < m.size(); ++w) {
+          if (m.id_mask() & (1u << w)) heard.push_back(m.word(w));
+          in = hash_mix(in, m.id_mask(), m.word(w));
+        }
+      }
+      const NodeId succ = ctx.initial_successor();
+      if (!active || succ == ncc::kNoNode) return;
+      int budget = ctx.capacity() - 1;
+      ctx.send(succ, make_msg(2).push_id(ctx.id()));
+      // Relay the heard IDs onward in batches of up to 4 per message.
+      for (std::size_t i = 0; i < heard.size() && budget > 0; --budget) {
+        auto m = make_msg(7).push_id(heard[i++]);
+        for (std::size_t k = 1; k < 4 && i < heard.size(); ++k)
+          m.push_id(heard[i++]);
+        ctx.send(succ, m);
+      }
+    });
+  }
+  fp.net = testing::net_fingerprint(net);
+  return fp;
+}
+
+// Light successor ring that never oversubscribes anyone: legal under the
+// strict overflow policy, and its transcript must match the bounce-policy
+// run exactly (a policy that never fires is unobservable).
+RunFingerprint run_ring(unsigned threads, ncc::OverflowPolicy policy) {
+  constexpr std::size_t kN = 128;
+  ncc::Config cfg;
+  cfg.seed = 31;
+  cfg.threads = threads;
+  cfg.overflow = policy;
+  ncc::Network net(kN, cfg);
+
+  RunFingerprint fp;
+  fp.inbox_digest.assign(kN, 0);
+  fp.bounce_digest.assign(kN, 0);
+  for (int r = 0; r < 10; ++r) {
+    net.round([&](Ctx& ctx) {
+      auto& in = fp.inbox_digest[ctx.slot()];
+      for (const auto m : ctx.inbox_view()) in = hash_mix(in, m.src(), m.word(0));
+      const NodeId succ = ctx.initial_successor();
+      if (succ != ncc::kNoNode)
+        ctx.send(succ, make_msg(1).push_id(ctx.id()).push(r));
+    });
+  }
+  fp.net = testing::net_fingerprint(net);
+  return fp;
+}
+
+TEST(ParallelDeliver, FloodOverflowTranscriptInvariant) {
+  const RunFingerprint ref = run_flood_overflow(1, /*traced=*/false);
+  // Sanity: the workload really oversubscribes (parallel pre-draw ran).
+  EXPECT_GT(ref.stats().messages_bounced, 0u);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_TRUE(ref == run_flood_overflow(threads, false))
+        << "threads=" << threads;
+  }
+  // Traced runs take the serial reference-sorted compat path; same story.
+  for (const unsigned threads : {1u, 4u}) {
+    EXPECT_TRUE(ref == run_flood_overflow(threads, true))
+        << "traced threads=" << threads;
+  }
+}
+
+TEST(ParallelDeliver, SkewedFanInTranscriptInvariant) {
+  const RunFingerprint ref = run_skewed_fan_in(1, /*traced=*/false);
+  EXPECT_GT(ref.stats().messages_bounced, 0u);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_TRUE(ref == run_skewed_fan_in(threads, false))
+        << "threads=" << threads;
+  }
+  EXPECT_TRUE(ref == run_skewed_fan_in(8, true)) << "traced";
+}
+
+TEST(ParallelDeliver, GossipWaveLearnPassInvariant) {
+  const RunFingerprint ref = run_gossip_relay(1, /*sparse=*/true, false);
+  // Sanity: knowledge actually spread beyond the initial path hints, so
+  // the (parallel) learn pass did real work.
+  std::size_t total_known = 0;
+  for (const std::size_t k : ref.net.knowledge) total_known += k;
+  EXPECT_GT(total_known, 3 * 256u);
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    for (const bool sparse : {true, false}) {
+      EXPECT_TRUE(ref == run_gossip_relay(threads, sparse, false))
+          << "threads=" << threads << " sparse=" << sparse;
+    }
+  }
+  EXPECT_TRUE(ref == run_gossip_relay(4, true, true)) << "traced sparse";
+  EXPECT_TRUE(ref == run_gossip_relay(4, false, true)) << "traced dense";
+}
+
+TEST(ParallelDeliver, StrictPolicyTranscriptMatchesBounceAcrossThreads) {
+  const RunFingerprint ref = run_ring(1, ncc::OverflowPolicy::kBounce);
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_TRUE(ref == run_ring(threads, ncc::OverflowPolicy::kStrict))
+        << "strict threads=" << threads;
+    EXPECT_TRUE(ref == run_ring(threads, ncc::OverflowPolicy::kBounce))
+        << "bounce threads=" << threads;
+  }
+}
+
+// ---- Per-phase timing ---------------------------------------------------
+
+TEST(PhaseTiming, PopulatedWhenOnAndZeroWhenDetached) {
+  constexpr std::size_t kN = 512;
+  ncc::Config cfg;
+  cfg.seed = 814;
+  cfg.initial = ncc::InitialKnowledge::kClique;
+  cfg.threads = 2;
+  for (const bool timing : {false, true}) {
+    ncc::Network net(kN, cfg);
+    net.set_phase_timing(timing);
+    EXPECT_EQ(net.phase_timing(), timing);
+    const int sends = net.capacity() / 2;
+    for (int r = 0; r < 4; ++r) {
+      net.round([&](Ctx& ctx) {
+        const auto ids = ctx.all_ids();
+        for (int i = 0; i < sends; ++i) {
+          const std::size_t pick = ctx.rng().chance(0.25)
+                                       ? ctx.rng().below(4)
+                                       : ctx.rng().below(ids.size());
+          ctx.send1(ids[pick], 5, i);
+        }
+      });
+    }
+    const ncc::PhaseNanos& ph = net.stats().phase_ns;
+    if (!timing) {
+      // Detached rounds read no clocks: every accumulator stays zero.
+      EXPECT_EQ(ph.total(), 0u);
+    } else {
+      EXPECT_GT(ph.body, 0u);
+      EXPECT_GT(ph.sort, 0u);
+      EXPECT_GT(ph.placement, 0u);
+      EXPECT_GT(ph.rng, 0u);  // the hot set oversubscribes every round
+      EXPECT_EQ(ph.learn, 0u);  // clique: the learn pass is skipped
+    }
+  }
+}
+
+TEST(PhaseTiming, LearnPhaseMeasuredOnNcc0AndSampleCarriesPhases) {
+  struct Collector final : ncc::TelemetrySink {
+    ncc::PhaseNanos sum;
+    void on_round(const ncc::RoundSample& s) override {
+      sum.body += s.phase_ns.body;
+      sum.sort += s.phase_ns.sort;
+      sum.rng += s.phase_ns.rng;
+      sum.placement += s.phase_ns.placement;
+      sum.learn += s.phase_ns.learn;
+    }
+  } sink;
+  constexpr std::size_t kN = 128;
+  ncc::Config cfg;
+  cfg.seed = 7;
+  cfg.threads = 2;
+  ncc::Network net(kN, cfg);
+  // A telemetry sink alone turns timing on — no set_phase_timing needed.
+  net.set_telemetry(&sink);
+  for (int r = 0; r < 6; ++r) {
+    net.round([&](Ctx& ctx) {
+      for (const auto m : ctx.inbox_view()) (void)m;
+      const NodeId succ = ctx.initial_successor();
+      if (succ != ncc::kNoNode)
+        ctx.send(succ, make_msg(2).push_id(ctx.id()));
+    });
+  }
+  EXPECT_GT(sink.sum.body, 0u);
+  EXPECT_GT(sink.sum.sort, 0u);
+  EXPECT_GT(sink.sum.placement, 0u);
+  EXPECT_GT(sink.sum.learn, 0u);  // NCC0: trailered records teach IDs
+  // The sink's per-round deltas are exactly the engine's accumulator.
+  const ncc::PhaseNanos& ph = net.stats().phase_ns;
+  EXPECT_EQ(sink.sum.body, ph.body);
+  EXPECT_EQ(sink.sum.learn, ph.learn);
+  EXPECT_EQ(sink.sum.total(), ph.total());
+}
+
+}  // namespace
+}  // namespace dgr
