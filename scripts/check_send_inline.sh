@@ -1,48 +1,7 @@
 #!/usr/bin/env bash
-# Guard against Ctx::send (and the one-word fast-path variants) silently
-# falling out of the inline budget in Release binaries.
-#
-# Background (ROADMAP / PR 4): Ctx::send once outgrew the compilers'
-# inlining heuristics, leaving an outlined call that copies the 48-byte
-# Message through the stack per send — a ~3x slowdown on the all-dense
-# engine microbenches, invisible to every correctness test. The fix is
-# [[gnu::always_inline]], but a future compiler or refactor could still
-# emit an out-of-line definition (e.g. if the attribute is dropped or the
-# function's address is taken). An outlined copy shows up as a defined
-# function symbol, which is exactly what this script greps for.
-#
-#   usage: check_send_inline.sh <binary> [<binary> ...]
-#
-# Exits non-zero if any binary defines a Ctx::send* symbol. CI runs it over
-# the bench binaries AND the serving stack (bench_serve, dgr_serve): the
-# service cold-runs Networks through the same send hot path, so an inline
-# regression there would silently skew the committed serve baselines.
-set -euo pipefail
-
-if [ "$#" -lt 1 ]; then
-  echo "usage: $0 <binary> [<binary> ...]" >&2
-  exit 2
-fi
-
-status=0
-for bin in "$@"; do
-  if [ ! -f "$bin" ]; then
-    echo "FAIL: $bin does not exist" >&2
-    status=1
-    continue
-  fi
-  # Defined code symbols only (t/T/w/W); undefined refs (U) would already
-  # be a link error. Match the call operator '(' so send1/send1_id are
-  # covered as distinct patterns and unrelated names (send_fail,
-  # send_queue) are not.
-  outlined=$(nm -C "$bin" 2>/dev/null \
-    | grep -E ' [tTwW] .*dgr::ncc::Ctx::send(1(_id)?)?\(' || true)
-  if [ -n "$outlined" ]; then
-    echo "FAIL: $bin has outlined Ctx::send symbols (inline budget lost):" >&2
-    echo "$outlined" >&2
-    status=1
-  else
-    echo "OK: $bin — Ctx::send fully inlined"
-  fi
-done
-exit $status
+# Compatibility wrapper. The Ctx::send inline check grew into the general
+# hot-op inline-budget gate in scripts/lint/check_inline_budget.sh, which
+# derives the op list from the [[gnu::always_inline]] sites in src/ instead
+# of hardcoding send/send1/send1_id. Call that directly in new code; this
+# name survives for existing CI configs and muscle memory.
+exec "$(dirname "$0")/lint/check_inline_budget.sh" "$@"

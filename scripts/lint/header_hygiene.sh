@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Header hygiene (IWYU-lite): every header under src/ must
+#
+#   1. carry #pragma once, and
+#   2. be self-contained — compile on its own with only -Isrc, so a header
+#      never silently depends on what its includers happened to include
+#      before it. (The classic failure: header A uses std::vector but only
+#      compiles because header B included <vector> first; reordering
+#      includes in a .cpp then breaks the build three files away.)
+#
+# Self-containment is checked by syntax-only compiling each header as a
+# standalone translation unit. That is the cheap 90% of include-what-you-
+# use without the tool dependency: it catches missing includes, though not
+# over-inclusion.
+#
+#   usage: header_hygiene.sh [src-dir]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+src="${1:-$root/src}"
+cxx="${CXX:-g++}"
+
+fail=0
+while IFS= read -r hdr; do
+  if ! grep -q '^#pragma once' "$hdr"; then
+    echo "FAIL: $hdr missing '#pragma once'"
+    fail=1
+  fi
+  if ! "$cxx" -std=c++20 -fsyntax-only -x c++ -I "$src" "$hdr" 2>/tmp/hh.$$; then
+    echo "FAIL: $hdr is not self-contained:"
+    sed 's/^/  /' /tmp/hh.$$ | head -15
+    fail=1
+  fi
+done < <(find "$src" -name '*.h' | sort)
+rm -f /tmp/hh.$$
+
+if [ "$fail" -ne 0 ]; then
+  echo >&2
+  echo "header_hygiene: fix the headers above (add the missing include or" >&2
+  echo "pragma; do not paper over with a lucky include order)." >&2
+  exit 1
+fi
+echo "OK: all headers under $src self-contained with #pragma once"

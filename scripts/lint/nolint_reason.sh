@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Every NOLINT marker must carry a reason. A bare NOLINT tells a reviewer
+# nothing and rots into permanent mystery; the project form is
+#
+#   // NOLINTNEXTLINE(check-name) -- why this is safe here
+#
+# i.e. a named check (never a blanket NOLINT) followed by ` -- <reason>`.
+# This script enforces both halves over src/ and tests/.
+#
+#   usage: nolint_reason.sh [dir ...]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+dirs=("$@")
+if [ "${#dirs[@]}" -eq 0 ]; then dirs=("$root/src" "$root/tests"); fi
+
+# A conforming marker: NOLINT or NOLINTNEXTLINE, a (check-list), then
+# ' -- ' and at least one word of reason.
+good='NOLINT(NEXTLINE)?\([^)]+\) -- [^ ]'
+
+fail=0
+while IFS= read -r line; do
+  if ! echo "$line" | grep -qE "$good"; then
+    echo "FAIL: $line"
+    fail=1
+  fi
+done < <(grep -rnH 'NOLINT' "${dirs[@]}" \
+           --include='*.h' --include='*.cpp' 2>/dev/null || true)
+
+if [ "$fail" -ne 0 ]; then
+  echo >&2
+  echo "nolint_reason: every NOLINT must name its check(s) and a reason:" >&2
+  echo "  // NOLINTNEXTLINE(check-name) -- reason" >&2
+  exit 1
+fi
+echo "OK: all NOLINT markers name a check and carry a reason"

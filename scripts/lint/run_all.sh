@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# The whole lint suite, one entry point (what the CI lint job runs):
+#
+#   determinism_lint   grep gate for transcript-visible nondeterminism
+#   nolint_reason      every NOLINT names its check and carries a reason
+#   header_hygiene     #pragma once + self-contained headers (IWYU-lite)
+#   check_inline_budget [[gnu::always_inline]] hot ops stay inlined
+#                      (needs built binaries; skips if none given/found)
+#   run_clang_tidy     .clang-tidy zero-warning gate (skips if no tool)
+#
+#   usage: run_all.sh [build-dir]   (default: build)
+#
+# Runs everything even after a failure and reports a summary, so one run
+# shows every problem.
+set -uo pipefail
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+here="$root/scripts/lint"
+build="${1:-$root/build}"
+
+declare -a names results
+run() {
+  local name="$1"; shift
+  echo "==== $name ===="
+  "$@"
+  local rc=$?
+  names+=("$name"); results+=("$rc")
+  echo
+}
+
+run determinism_lint "$here/determinism_lint.sh"
+run nolint_reason "$here/nolint_reason.sh"
+run header_hygiene "$here/header_hygiene.sh"
+
+# Inline budget needs binaries. Prefer the bench binaries (Release codegen
+# is the one that matters); fall back to whatever the build dir has.
+bins=()
+for b in "$build"/bench/bench_engine "$build"/bench/bench_serve \
+         "$build"/examples/dgr_serve; do
+  [ -f "$b" ] && bins+=("$b")
+done
+if [ "${#bins[@]}" -gt 0 ]; then
+  run check_inline_budget "$here/check_inline_budget.sh" "${bins[@]}"
+else
+  echo "==== check_inline_budget ===="
+  echo "SKIP: no built binaries under $build (build bench/examples first)"
+  names+=(check_inline_budget); results+=(0)
+  echo
+fi
+
+run clang_tidy "$here/run_clang_tidy.sh" "$build"
+
+echo "==== summary ===="
+fail=0
+for i in "${!names[@]}"; do
+  if [ "${results[$i]}" -eq 0 ]; then
+    echo "  PASS ${names[$i]}"
+  else
+    echo "  FAIL ${names[$i]}"
+    fail=1
+  fi
+done
+exit $fail

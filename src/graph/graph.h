@@ -53,6 +53,8 @@ class Graph {
 
   std::vector<std::vector<Vertex>> adj_;
   std::vector<std::pair<Vertex, Vertex>> edges_;
+  // Membership-only (insert/contains; iteration order never observed —
+  // edges_ carries insertion order for traversal). det-ok: unordered_set
   std::unordered_set<std::uint64_t> edge_set_;
 };
 

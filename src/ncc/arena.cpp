@@ -19,12 +19,20 @@ void DestHist::grow() {
   const std::size_t mask = next - 1;
   // Only this epoch's live entries survive the move; stale ones are the
   // whole point of the epoch scheme and are dropped for free here.
+  std::size_t moved = 0;
   for (const Ent& e : old) {
     if (e.epoch != epoch_) continue;
     std::size_t i = probe_start(e.key, mask);
     while (tab_[i].epoch == epoch_) i = (i + 1) & mask;
     tab_[i] = e;
+    ++moved;
   }
+  NCC_INVARIANT(moved == live_,
+                "DestHist::grow lost or duplicated a live entry: moved "
+                    << moved << " of " << live_
+                    << " (an epoch stamp is corrupt, or at() claimed a slot "
+                       "without counting it)");
+  (void)moved;
 }
 
 // ------------------------------------------------------------ OutArena ----
@@ -167,11 +175,9 @@ std::unique_ptr<RoundScratch> ArenaPool::acquire() {
 void ArenaPool::release(std::unique_ptr<RoundScratch> scratch) {
   if (!scratch) return;
   scratch->sanitize();
-#ifndef NDEBUG
-  DGR_CHECK_MSG(scratch->invariants_clean(),
+  NCC_INVARIANT(scratch->invariants_clean(),
                 "RoundScratch released to the pool with dirty between-round "
                 "state (sanitize() failed to restore an invariant)");
-#endif
   std::lock_guard<std::mutex> lk(mu_);
   if (free_.size() < max_free_) {
     free_.push_back(std::move(scratch));

@@ -80,12 +80,19 @@ struct Executor::Impl {
       Job* job = queue.front();
       const std::size_t lo = job->next;
       const std::size_t hi = std::min(job->count, lo + job->chunk);
+      // Claim accounting: a queued job always has unclaimed tasks (the
+      // last claimer unqueues it before releasing the lock), so a worker
+      // can never claim an empty batch or run an index twice.
+      NCC_ASSERT_MSG(lo < hi, "worker claimed an empty batch from a queued "
+                              "job (claim accounting corrupted)");
       job->next = hi;
       if (job->next >= job->count) queue.pop_front();
       lk.unlock();
       for (std::size_t i = lo; i < hi; ++i) execute(job, i, mu);
       lk.lock();
       tasks += hi - lo;
+      NCC_ASSERT_MSG(job->done + (hi - lo) <= job->count,
+                     "more task completions than tasks (double claim)");
       if ((job->done += hi - lo) == job->count) job->cv_done.notify_all();
     }
   }
@@ -128,6 +135,9 @@ Executor::Lease Executor::lease(unsigned width) {
 void Executor::Lease::release() {
   if (!exec_) return;
   std::scoped_lock lk(exec_->impl_->mu);
+  NCC_ASSERT_MSG(exec_->impl_->clients > 0,
+                 "lease released with zero registered clients "
+                 "(double release, or a lease outlived its executor)");
   --exec_->impl_->clients;
   exec_ = nullptr;
 }
@@ -178,9 +188,13 @@ void Executor::run(const Lease& lease, std::size_t count, void* ctx,
     lk.lock();
     im.tasks += hi - lo;
     im.caller_tasks += hi - lo;
+    NCC_ASSERT_MSG(job.done + (hi - lo) <= job.count,
+                   "more task completions than tasks (double claim)");
     job.done += hi - lo;
   }
   job.cv_done.wait(lk, [&] { return job.done == job.count; });
+  NCC_ASSERT_MSG(job.done == job.count,
+                 "job drained with done != count (lost completion)");
   const std::exception_ptr err = job.error;
   lk.unlock();
   if (err) std::rethrow_exception(err);

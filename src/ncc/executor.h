@@ -27,6 +27,41 @@
 // Exception contract (same as the old per-Network pool): every task of a
 // job is claimed and executed even after a failure; the first exception
 // observed is rethrown on the submitting thread once the job drains.
+//
+// Happens-before audit (PR 9, verified TSan-clean at threads {2,4,8} over
+// the unit shard + the race-stress suite). All cross-thread edges in this
+// file are established by exactly one mutex (Impl::mu) and its condition
+// variables — there are no atomics and no lock-free paths, so the audit
+// is short:
+//
+//   1. Job publication: run() writes the Job fields (ctx/fn/count/chunk)
+//      while NOT holding mu, then pushes &job onto the queue under mu.
+//      Workers read those fields only after popping/claiming under the
+//      same mu — the lock pair orders the plain writes before every
+//      worker read. The client's own pre-round state (worker_span_,
+//      partition tables, outbox arenas in Network's case) is published to
+//      workers by the same edge.
+//   2. Claim accounting: Job::next and Job::done are only ever read or
+//      written under mu (worker_main and the caller loop re-acquire it
+//      around every claim and every completion fold). A task index is
+//      claimed exactly once because the claim (next = hi) and the
+//      unqueue-when-exhausted happen in the same critical section.
+//   3. Task side effects: a task's writes (into client-owned, task-
+//      indexed state) are ordered before the submitter's post-run()
+//      reads by the mu acquire/release pair around the worker's `done`
+//      fold and the caller's cv_done wait — run() returns only after
+//      observing done == count under mu.
+//   4. Exceptions: Job::error is written under mu (first writer wins) and
+//      read by the submitter under mu after the drain; rethrow happens
+//      after the lock is dropped, on the submitting thread only.
+//   5. Teardown: ~Executor sets stop under mu, notifies, and joins every
+//      worker — thread::join orders all worker effects before impl_
+//      deletion. Lease::release touches impl_ under mu; leases must not
+//      outlive their executor (the process-wide instance outlives every
+//      client by construction; test-local executors own that ordering).
+//
+// The audit found no missing edge; the NCC_ASSERT claim-accounting
+// contracts in executor.cpp pin the invariants the audit relies on.
 #pragma once
 
 #include <cstddef>

@@ -46,7 +46,8 @@ constexpr std::size_t kDenseSweep = 16;
 
 /// Monotonic timestamp for the per-phase round breakdown (ncc/stats.h).
 /// Only called while phase timing is on (a telemetry sink attached, or
-/// Network::set_phase_timing); detached rounds never read a clock.
+/// Network::set_phase_timing); detached rounds never read a clock. The
+/// reading feeds telemetry only, never a transcript. det-ok: clock
 inline std::uint64_t mono_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -173,6 +174,11 @@ Network::Network(std::size_t n, Config cfg) : n_(n), cfg_(cfg) {
     scr_ = std::make_unique<RoundScratch>();
   }
   scr_->prepare(n_, threads_);
+  // Acquire-side half of the pool contract: whatever bundle we got (fresh
+  // or warm) must present the between-round invariants; release() checks
+  // the producer side, this checks the consumer side.
+  NCC_INVARIANT(scr_->invariants_clean(),
+                "RoundScratch acquired with dirty between-round state");
   worker_span_.resize(threads_);
 
   node_rng_.reserve(n);
@@ -859,15 +865,14 @@ void Network::deliver() {
                            out.wake.end());
       out.wake.clear();
     }
-#ifndef NDEBUG
     // The fold above consumed every live histogram entry: between rounds
     // no destination may carry a nonzero count. (Paths that never read the
     // histograms — lossy/traced re-streams, dense-round re-streams — leave
     // their entries live; advance_epoch retires those wholesale.)
-    DGR_CHECK_MSG(!hist_consumed || out.hist.all_zero(),
+    NCC_INVARIANT(!hist_consumed || out.hist.all_zero(),
                   "per-worker histogram not all-zero after the delivery "
-                  "fold (between-round invariant violated)");
-#endif
+                  "fold (between-round invariant violated; deliver()'s "
+                  "fold re-zeroes every entry it consumes)");
     (void)hist_consumed;
     out.hist.advance_epoch();
     out.touched.clear();

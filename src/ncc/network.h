@@ -187,12 +187,13 @@ class InboxView {
     using difference_type = std::ptrdiff_t;
 
     MessageRef operator*() const {
-#ifndef NDEBUG
-      DGR_CHECK_MSG(*live_gen_ == gen_,
-                    "stale InboxView dereferenced: the view was created in "
-                    "an earlier round and its arena has been repacked (views "
-                    "are only valid inside the round body that created them)");
-#endif
+      // NCC_* so the check (and its operands — the gen fields only exist
+      // in debug layouts) vanishes entirely under NDEBUG.
+      NCC_ASSERT_MSG(*live_gen_ == gen_,
+                     "stale InboxView dereferenced: the view was created in "
+                     "an earlier round and its arena has been repacked (views "
+                     "are only valid inside the round body that created "
+                     "them)");
       return MessageRef(p_, ids_);
     }
     iterator& operator++() {

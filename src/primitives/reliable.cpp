@@ -2,7 +2,7 @@
 
 #include <atomic>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -35,11 +35,18 @@ ReliableResult reliable_exchange_impl(
     std::uint64_t attempts = 0;
   };
   struct SenderState {
-    std::deque<std::size_t> fresh;                    // indexes into entries
-    std::unordered_map<std::uint64_t, std::size_t> unacked;  // seq -> index
+    std::deque<std::size_t> fresh;  // indexes into entries
+    // seq -> index. An ordered map on purpose: the retransmit loop below
+    // iterates this container and SENDS under a per-round budget with an
+    // early break, so iteration order is transcript-visible. An unordered
+    // map would make which entries win the budget depend on the stdlib's
+    // hash layout — ascending seq is the deterministic, oldest-first order.
+    std::map<std::uint64_t, std::size_t> unacked;
     std::vector<Entry> entries;
   };
   struct ReceiverState {
+    // Membership-only (insert + contains); iteration never happens, so
+    // hash order can't leak into the transcript. det-ok: unordered_set
     std::unordered_set<std::uint64_t> seen;  // (src slot << 32) | seq
     std::deque<std::pair<ncc::NodeId, std::uint64_t>> acks_to_send;
   };

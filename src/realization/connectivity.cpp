@@ -217,6 +217,7 @@ ConnectivityResult realize_connectivity_ncc0(
                         });
   for (ncc::Slot s = 0; s < n; ++s) {
     const ncc::NodeId me = net.id_of(s);
+    // Membership probe only (contains). det-ok: unordered_set
     std::unordered_set<ncc::NodeId> in_set(incoming[s].begin(),
                                            incoming[s].end());
     // Drop my copy of double-stored edges when I have the larger ID.
@@ -227,6 +228,8 @@ ConnectivityResult realize_connectivity_ncc0(
                               }),
                mine.end());
     // Explicit adjacency = full neighbour set (each neighbour once).
+    // Dedupe bag; the extraction below is sorted before anyone reads it,
+    // so hash order dies right here. det-ok: unordered_set
     std::unordered_set<ncc::NodeId> adj(mine.begin(), mine.end());
     adj.insert(in_set.begin(), in_set.end());
     result.adjacency[s].assign(adj.begin(), adj.end());

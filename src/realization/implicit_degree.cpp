@@ -94,7 +94,8 @@ ImplicitDegreeResult realize_degrees_on_path(
   // Theorem 13 alteration leaves open. Sorting key: 2·residual + fresh bit.
   std::vector<std::uint8_t> has_sourced(n, 0);
   // Referee edge set for the duplicate diagnostic (mutex: deliveries can
-  // run from parallel round-body threads).
+  // run from parallel round-body threads). Insert-dedupe only, never
+  // iterated. det-ok: unordered_set
   std::unordered_set<std::uint64_t> referee_edges;
   std::mutex referee_mu;
 

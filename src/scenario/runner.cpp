@@ -1,7 +1,6 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <mutex>
 
 #include "ncc/arena.h"
@@ -363,17 +362,19 @@ MatrixReport run_matrix(std::span<const ScenarioSpec> specs,
   }
 
   std::vector<RunRecord> results(tasks.size());
-  std::atomic<std::size_t> done{0};
+  std::size_t done = 0;  // guarded by progress_mu
   std::mutex progress_mu;
   auto run_task = [&](std::size_t i) {
     results[i] = run_one(*tasks[i].spec, tasks[i].algo, tasks[i].n, opt_run);
-    const std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (opt.progress) {
-      // Serialize callbacks so a stderr progress printer never interleaves
-      // lines from concurrent runs.
-      std::scoped_lock lk(progress_mu);
-      opt.progress(d, tasks.size(), results[i]);
-    }
+    // Serialize callbacks so a stderr progress printer never interleaves
+    // lines from concurrent runs. The completion count is claimed INSIDE
+    // the lock: incrementing it before acquiring would let a later
+    // finisher report first, so the printer could see 7/12 then 6/12.
+    // Under the lock the d values each callback observes are strictly
+    // increasing.
+    std::scoped_lock lk(progress_mu);
+    const std::size_t d = ++done;
+    if (opt.progress) opt.progress(d, tasks.size(), results[i]);
   };
 
   const unsigned jobs = std::max(1u, opt.jobs);

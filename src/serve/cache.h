@@ -66,6 +66,8 @@ class ResultCache {
   std::size_t byte_budget_;
   std::size_t bytes_ = 0;  // sum of live entries' bytes
   std::list<Entry> lru_;   // front = most recent
+  // Lookup-only index (find/emplace/erase); recency order lives in lru_,
+  // so hash layout never decides an eviction. det-ok: unordered_map
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
       index_;
   std::uint64_t hits_ = 0;

@@ -1,8 +1,25 @@
 // Lightweight runtime-check macros used across the library.
 //
-// DGR_CHECK fires in every build type: the simulator uses it to enforce model
-// rules (knowledge, capacity), where silently continuing would invalidate a
-// simulation. Failures throw dgr::CheckError so tests can assert on them.
+// Two tiers, one failure type (dgr::CheckError, so tests can assert on
+// either):
+//
+//   DGR_CHECK / DGR_CHECK_MSG — model rules and API contracts. Fire in
+//   every build type: the simulator uses them to enforce knowledge and
+//   capacity rules, where silently continuing would invalidate a
+//   simulation, and user input validation belongs here too.
+//
+//   NCC_ASSERT / NCC_ASSERT_MSG / NCC_INVARIANT — internal debug
+//   contracts: executor claim accounting, DestHist epoch invariants,
+//   RoundScratch between-round cleanliness. Compiled out entirely in
+//   Release builds (NDEBUG): the condition expression is NOT evaluated,
+//   so an invariant probe may be arbitrarily expensive (a full-table
+//   walk) without taxing production rounds. Use them for conditions that
+//   are provably true unless the engine itself has a bug — never for
+//   conditions a caller could trigger.
+//
+// NCC_INVARIANT is NCC_ASSERT_MSG under a name that marks data-structure
+// invariant probes (the msg should say which invariant and who restores
+// it); the distinction is documentation, not mechanics.
 #pragma once
 
 #include <sstream>
@@ -40,7 +57,29 @@ namespace detail {
   do {                                                                 \
     if (!(expr)) {                                                     \
       std::ostringstream os_;                                          \
-      os_ << msg; /* NOLINT */                                         \
+      /* msg is a stream chain by contract; parens would break it. */  \
+      /* NOLINTNEXTLINE(bugprone-macro-parentheses) -- stream chain */ \
+      os_ << msg;                                                      \
       ::dgr::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
     }                                                                  \
   } while (false)
+
+// --- Debug-only contract layer ------------------------------------------
+// See the file comment: internal engine contracts, zero Release cost (the
+// condition is not evaluated when NDEBUG is defined).
+
+#ifndef NDEBUG
+#define NCC_ASSERT(expr) DGR_CHECK(expr)
+#define NCC_ASSERT_MSG(expr, msg) DGR_CHECK_MSG(expr, msg)
+#define NCC_INVARIANT(expr, msg) DGR_CHECK_MSG(expr, msg)
+#else
+#define NCC_ASSERT(expr) \
+  do {                   \
+  } while (false)
+#define NCC_ASSERT_MSG(expr, msg) \
+  do {                            \
+  } while (false)
+#define NCC_INVARIANT(expr, msg) \
+  do {                           \
+  } while (false)
+#endif
