@@ -11,11 +11,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <initializer_list>
+#include <vector>
 
 #include "occupancy.h"
 #include "rss.h"
 #include "ncc/config.h"
 #include "ncc/network.h"
+#include "obs/rows.h"
 #include "util/math_util.h"
 
 namespace dgr::bench {
@@ -66,6 +69,25 @@ inline void report_thread_occupancy(benchmark::State& state,
 inline void report_peak_rss(benchmark::State& state) {
   state.counters["peak_rss_bytes"] =
       benchmark::Counter(static_cast<double>(peak_rss_bytes()));
+}
+
+/// Report a subset of an obs rows snapshot (ServiceStats, CacheStats,
+/// NetStats — see obs/rows.h) as benchmark counters. One extraction path
+/// shared with dgr_serve and the exporter: benchmarks name which rows they
+/// want instead of re-plumbing struct fields into counters by hand.
+inline void report_rows(benchmark::State& state,
+                        const std::vector<obs::Row>& rows,
+                        std::initializer_list<const char*> names,
+                        benchmark::Counter::Flags flags =
+                            benchmark::Counter::kIsRate) {
+  for (const auto& row : rows) {
+    for (const char* name : names) {
+      if (row.name == name) {
+        state.counters[row.name] =
+            benchmark::Counter(static_cast<double>(row.value), flags);
+      }
+    }
+  }
 }
 
 inline void report_rounds(benchmark::State& state, double rounds,

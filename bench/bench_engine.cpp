@@ -32,6 +32,7 @@
 
 #include "bench_common.h"
 #include "ncc/message.h"
+#include "obs/net_metrics.h"
 
 namespace dgr::bench {
 namespace {
@@ -83,6 +84,43 @@ void BM_EngineFlood(benchmark::State& state) {
     });
   }
   report_throughput(state, net, rounds0, msgs0);
+}
+
+// Flood with the observability plane attached — an obs::NetMetrics sink on
+// the dedicated metrics slot folding every round into a registry (registry
+// timing gate off, as in production scraping). The A/B partner of
+// BM_EngineFlood for the attached-cost claim: the pair interleaves in
+// registration order, and the attached run's cost over the detached one is
+// the whole per-round price of live metrics (sink virtual call + a dozen
+// sharded adds + EWMA arithmetic). Detached cost is pinned separately: with
+// no sink attached BM_EngineFlood itself must stay within noise of the
+// pre-observability baseline (EXPERIMENTS.md records the A/B).
+void BM_EngineFloodObs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ncc::Network net(n, engine_cfg(static_cast<unsigned>(state.range(1))));
+  obs::Registry reg;  // private registry: keep bench reps independent
+  obs::NetMetrics metrics(reg);
+  net.set_metrics(&metrics);
+  const auto cap = static_cast<std::size_t>(net.capacity());
+  std::vector<ncc::NodeId> targets(n * cap);
+  {
+    Rng tr(99);
+    for (auto& t : targets) t = net.id_of(static_cast<ncc::Slot>(tr.below(n)));
+  }
+  const std::uint64_t rounds0 = net.stats().rounds;
+  const std::uint64_t msgs0 = net.stats().messages_sent;
+  for (auto _ : state) {
+    net.round([&](ncc::Ctx& ctx) {
+      const ncc::NodeId* t = targets.data() + ctx.slot() * cap;
+      for (std::size_t i = 0; i < cap; ++i) {
+        ctx.send(t[i], ncc::make_msg(7).push(static_cast<std::uint64_t>(i)));
+      }
+    });
+  }
+  net.set_metrics(nullptr);
+  report_throughput(state, net, rounds0, msgs0);
+  state.counters["ewma_msgs/round"] = benchmark::Counter(
+      static_cast<double>(metrics.delivered_per_round_ewma_x1000()) / 1000.0);
 }
 
 // Flood with per-phase round timing enabled (Network::set_phase_timing):
@@ -228,6 +266,7 @@ void EngineArgs(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_EngineFlood)->Apply(EngineArgs)->UseRealTime();
+BENCHMARK(BM_EngineFloodObs)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineFloodTimed)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineFlood1Word)->Apply(EngineArgs)->UseRealTime();
 BENCHMARK(BM_EngineFloodScan)->Apply(EngineArgs)->UseRealTime();

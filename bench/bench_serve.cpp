@@ -52,9 +52,7 @@ void BM_ServeColdLatency(benchmark::State& state) {
     benchmark::DoNotOptimize(result->edges.data());
   }
   report_thread_occupancy(state, cfg.drivers);
-  state.counters["cold_runs"] = benchmark::Counter(
-      static_cast<double>(service.stats().cold_runs),
-      benchmark::Counter::kIsRate);
+  report_rows(state, obs::rows(service.stats()), {"cold_runs"});
 }
 
 void BM_ServeHitLatency(benchmark::State& state) {
@@ -82,9 +80,7 @@ void BM_ServeHitLatency(benchmark::State& state) {
     benchmark::DoNotOptimize(result->edges.data());
   }
   report_thread_occupancy(state, cfg.drivers);
-  state.counters["hits"] = benchmark::Counter(
-      static_cast<double>(service.stats().submit_hits),
-      benchmark::Counter::kIsRate);
+  report_rows(state, obs::rows(service.stats()), {"submit_hits"});
 }
 
 void BM_ServeWarmThroughput(benchmark::State& state) {
@@ -117,10 +113,7 @@ void BM_ServeWarmThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(kWave));
   report_thread_occupancy(state, drivers);
   const auto st = service.stats();
-  state.counters["batches"] = benchmark::Counter(
-      static_cast<double>(st.batches), benchmark::Counter::kIsRate);
-  state.counters["coalesced"] = benchmark::Counter(
-      static_cast<double>(st.coalesced), benchmark::Counter::kIsRate);
+  report_rows(state, obs::rows(st), {"batches", "coalesced"});
   state.counters["hit_share"] = benchmark::Counter(
       st.completed
           ? static_cast<double>(st.submit_hits + st.run_hits + st.coalesced) /

@@ -4,7 +4,7 @@
 //   dgr_scenarios run [--scenario=a,b,...] [--algos=implicit,tree,...]
 //                     [--n=32,64,...] [--threads=N] [--jobs=N] [--seed=N]
 //                     [--dense] [--json=path] [--csv=path] [--no-intervals]
-//                     [--progress] [--quiet]
+//                     [--telemetry-socket=PATH] [--progress] [--quiet]
 //
 // `run` executes the named scenarios (default: the whole built-in library)
 // across the selected realization algorithms and n sweep, validates every
@@ -15,13 +15,25 @@
 // process-wide executor; --progress prints one whole line per completed
 // run (the runner serializes the callback, so lines never interleave).
 // Exit code 0 iff every run validated.
+//
+// --telemetry-socket=PATH turns on the live observability plane: an
+// obs::Exporter is bound at PATH (scrape it with `dgr_top --socket=PATH`
+// or `scripts/obs_tail.sh PATH`), every run's Network feeds the process
+// metrics registry through an obs::NetMetrics sink, and each completed
+// round publishes one NDJSON event to "stream" subscribers. Pure
+// observation: the report bytes are identical with or without the flag.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ncc/telemetry.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/net_metrics.h"
 #include "scenario/library.h"
 #include "scenario/report.h"
 #include "scenario/runner.h"
@@ -45,6 +57,7 @@ int usage() {
          "                         [--n=csv] [--threads=N] [--jobs=N]\n"
          "                         [--seed=N] [--dense] [--json=path]\n"
          "                         [--csv=path] [--no-intervals]\n"
+         "                         [--telemetry-socket=PATH]\n"
          "                         [--progress] [--quiet]\n";
   return 2;
 }
@@ -66,6 +79,23 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// One NDJSON "round" event for stream subscribers. Scenario/algo names
+/// come from the built-in library (identifier-shaped), so no escaping.
+std::string round_event(const std::string& scenario, const std::string& algo,
+                        std::uint64_t n, const dgr::ncc::RoundSample& s) {
+  std::ostringstream ev;
+  ev << "{\"event\":\"round\",\"scenario\":\"" << scenario << "\",\"algo\":\""
+     << algo << "\",\"n\":" << n << ",\"round\":" << s.round
+     << ",\"sent\":" << s.sent << ",\"delivered\":" << s.delivered
+     << ",\"bounced\":" << s.bounced << ",\"dropped\":" << s.dropped
+     << ",\"frontier\":" << s.frontier << ",\"crashed\":" << s.crashed
+     << ",\"phase_ns\":{\"body\":" << s.phase_ns.body
+     << ",\"sort\":" << s.phase_ns.sort << ",\"rng\":" << s.phase_ns.rng
+     << ",\"placement\":" << s.phase_ns.placement
+     << ",\"learn\":" << s.phase_ns.learn << "}}";
+  return ev.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,6 +108,7 @@ int main(int argc, char** argv) {
   std::vector<dgr::scenario::ScenarioSpec> specs;
   std::string json_path;
   std::string csv_path;
+  std::string socket_path;
   bool quiet = false;
   bool progress = false;
 
@@ -131,6 +162,8 @@ int main(int argc, char** argv) {
       json_path = a.substr(7);
     } else if (starts("--csv=")) {
       csv_path = a.substr(6);
+    } else if (starts("--telemetry-socket=")) {
+      socket_path = a.substr(19);
     } else if (a == "--no-intervals") {
       opt.keep_intervals = false;
     } else if (a == "--progress") {
@@ -156,6 +189,44 @@ int main(int argc, char** argv) {
            << r.algo << " / n=" << r.n << ": " << r.outcome
            << (r.validated ? "" : " (NOT VALIDATED)") << "\n";
       std::cerr << line.str();
+    };
+  }
+
+  // Live observability plane (--telemetry-socket): exporter + metrics sink
+  // + per-round NDJSON events. Constructed before run_matrix so an external
+  // watcher can connect first; destroyed after, which closes subscribers
+  // and unlinks the socket.
+  std::unique_ptr<dgr::obs::Exporter> exporter;
+  std::unique_ptr<dgr::obs::NetMetrics> net_metrics;
+  if (!socket_path.empty()) {
+    try {
+      exporter = std::make_unique<dgr::obs::Exporter>(socket_path);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot bind telemetry socket: " << e.what() << "\n";
+      return 1;
+    }
+    // Timing on: phase nanos in round events, queue-wait histograms in the
+    // scraped registry. Observability only — never in the report bytes.
+    dgr::obs::Registry::set_timing(true);
+    net_metrics = std::make_unique<dgr::obs::NetMetrics>();
+    opt.metrics = net_metrics.get();
+    opt.on_sample = [&exporter](const std::string& scenario,
+                                const std::string& algo, std::uint64_t n,
+                                const dgr::ncc::RoundSample& s) {
+      exporter->publish(round_event(scenario, algo, n, s));
+    };
+    auto inner_progress = opt.progress;
+    opt.progress = [&exporter, inner_progress](
+                       std::size_t done, std::size_t total,
+                       const dgr::scenario::RunRecord& r) {
+      std::ostringstream ev;
+      ev << "{\"event\":\"run_end\",\"scenario\":\"" << r.scenario
+         << "\",\"algo\":\"" << r.algo << "\",\"n\":" << r.n
+         << ",\"outcome\":\"" << r.outcome
+         << "\",\"validated\":" << (r.validated ? "true" : "false")
+         << ",\"done\":" << done << ",\"total\":" << total << "}";
+      exporter->publish(ev.str());
+      if (inner_progress) inner_progress(done, total, r);
     };
   }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/rows.h"
 #include "serve/service.h"
 #include "util/rng.h"
 
@@ -157,17 +158,12 @@ int main(int argc, char** argv) {
   const auto cs = service.cache_stats();
   const std::uint64_t hits = st.submit_hits + st.run_hits;
   if (!quiet) {
+    // One obs-rows dump per stats struct (the shared snapshot path —
+    // identical shape in dgr_top and the exporter's JSON).
     std::ostringstream out;
-    out << "requests:   " << st.submitted << " submitted, " << st.completed
-        << " completed, " << failed << " failed\n"
-        << "cache:      " << hits << " hits (" << st.submit_hits
-        << " at submit, " << st.run_hits << " at run), " << st.cold_runs
-        << " cold runs, " << cs.evictions << " evictions, " << cs.size << "/"
-        << cs.capacity << " resident\n"
-        << "batching:   " << st.batches << " batches, "
-        << st.batched_requests << " requests batched, max batch "
-        << st.max_batch << ", " << st.coalesced << " coalesced, "
-        << st.admission_waits << " admission waits\n";
+    out << "service (" << failed << " failed):\n"
+        << dgr::obs::rows_to_text(dgr::obs::rows(st)) << "cache:\n"
+        << dgr::obs::rows_to_text(dgr::obs::rows(cs));
     std::cout << out.str();
   }
 

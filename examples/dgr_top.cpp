@@ -1,0 +1,217 @@
+// dgr_top — tiny observability client for the obs::Exporter socket.
+//
+//   dgr_top --socket=PATH            live: stream round events, one
+//                                    pretty-printed line per round, with a
+//                                    registry summary (cache hit ratio,
+//                                    executor occupancy) every few rounds
+//   dgr_top --socket=PATH --once     scrape one Prometheus snapshot, print
+//                                    it raw, exit
+//   dgr_top --socket=PATH --json     scrape one JSON snapshot, exit
+//
+// Start the producer side with `dgr_scenarios run --telemetry-socket=PATH`
+// (any extra flags you like). This client doubles as the manual smoke test
+// for the socket protocol: if `--once` prints HELP/TYPE lines and the
+// default mode prints rounds, both formats and the stream path work.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: dgr_top --socket=PATH [--once|--json] [--lines=N]\n";
+  return 2;
+}
+
+/// Connect to the exporter and send one request line; -1 on failure.
+int dial(const std::string& path, const char* request) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const std::size_t len = std::strlen(request);
+  if (::send(fd, request, len, 0) != static_cast<ssize_t>(len)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Drain a snapshot-style connection (server closes when done) to stdout.
+int dump_connection(int fd) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    std::cout.write(buf, n);
+  }
+  ::close(fd);
+  std::cout.flush();
+  return 0;
+}
+
+/// Extract `"key":<number>` from one NDJSON event (enough JSON for our own
+/// exporter's output; not a general parser).
+std::uint64_t num_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// Extract `"key":"value"` from one NDJSON event.
+std::string str_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "?";
+  const std::size_t from = at + needle.size();
+  const std::size_t to = line.find('"', from);
+  return line.substr(from, to - from);
+}
+
+/// One registry summary line from a fresh "json" scrape: cache hit ratio
+/// and executor occupancy — the numbers a stream subscriber cannot derive
+/// from round events alone.
+void print_summary(const std::string& path) {
+  const int fd = dial(path, "json\n");
+  if (fd < 0) return;
+  std::string snap;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    snap.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::uint64_t hits = num_field(snap, "dgr_cache_hits_total");
+  const std::uint64_t misses = num_field(snap, "dgr_cache_misses_total");
+  const std::uint64_t busy = num_field(snap, "dgr_exec_busy_workers");
+  const std::uint64_t workers = num_field(snap, "dgr_exec_workers");
+  const std::uint64_t ewma =
+      num_field(snap, "dgr_net_delivered_per_round_ewma_x1000");
+  std::cout << "-- registry: cache hit ratio ";
+  if (hits + misses == 0) {
+    std::cout << "n/a";
+  } else {
+    std::cout << (100 * hits) / (hits + misses) << "% (" << hits << "/"
+              << (hits + misses) << ")";
+  }
+  std::cout << ", executor " << busy << "/" << workers << " busy"
+            << ", delivery ewma " << ewma / 1000 << " msg/round\n";
+}
+
+/// Pretty-print one streamed event; returns false for lines to skip.
+bool print_event(const std::string& line) {
+  const std::string event = str_field(line, "event");
+  if (event == "run_end") {
+    std::cout << "== " << str_field(line, "scenario") << "/"
+              << str_field(line, "algo") << " n=" << num_field(line, "n")
+              << " finished: " << str_field(line, "outcome") << " ["
+              << num_field(line, "done") << "/" << num_field(line, "total")
+              << "]\n";
+    return true;
+  }
+  if (event != "round") return false;
+  const std::uint64_t body = num_field(line, "body");
+  const std::uint64_t sort = num_field(line, "sort");
+  const std::uint64_t rng = num_field(line, "rng");
+  const std::uint64_t placement = num_field(line, "placement");
+  const std::uint64_t learn = num_field(line, "learn");
+  const std::uint64_t total = body + sort + rng + placement + learn;
+  std::cout << str_field(line, "scenario") << "/" << str_field(line, "algo")
+            << " n=" << num_field(line, "n") << " r=" << num_field(line, "round")
+            << " sent=" << num_field(line, "sent")
+            << " dlv=" << num_field(line, "delivered")
+            << " bounce=" << num_field(line, "bounced")
+            << " drop=" << num_field(line, "dropped")
+            << " frontier=" << num_field(line, "frontier");
+  if (total > 0) {
+    std::cout << " | body " << (100 * body) / total << "% sort "
+              << (100 * sort) / total << "% place " << (100 * placement) / total
+              << "% learn " << (100 * learn) / total << "%";
+  }
+  std::cout << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool once = false;
+  bool json = false;
+  std::uint64_t max_lines = 0;  // 0 = until the producer closes
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto starts = [&](const char* p) { return a.rfind(p, 0) == 0; };
+    if (starts("--socket=")) {
+      path = a.substr(9);
+    } else if (a == "--once") {
+      once = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (starts("--lines=")) {
+      max_lines = std::strtoull(a.c_str() + 8, nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  if (once || json) {
+    const int fd = dial(path, json ? "json\n" : "metrics\n");
+    if (fd < 0) {
+      std::cerr << "cannot connect to " << path << "\n";
+      return 1;
+    }
+    return dump_connection(fd);
+  }
+
+  const int fd = dial(path, "stream\n");
+  if (fd < 0) {
+    std::cerr << "cannot connect to " << path << "\n";
+    return 1;
+  }
+  std::string carry;
+  char buf[4096];
+  std::uint64_t printed = 0;
+  std::uint64_t since_summary = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    carry.append(buf, static_cast<std::size_t>(n));
+    std::size_t nl = 0;
+    while ((nl = carry.find('\n')) != std::string::npos) {
+      const std::string line = carry.substr(0, nl);
+      carry.erase(0, nl + 1);
+      if (!print_event(line)) continue;
+      ++printed;
+      if (++since_summary >= 16) {
+        since_summary = 0;
+        print_summary(path);
+      }
+      if (max_lines != 0 && printed >= max_lines) {
+        ::close(fd);
+        return 0;
+      }
+    }
+  }
+  ::close(fd);
+  return 0;
+}

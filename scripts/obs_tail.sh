@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# obs_tail.sh — follow a live dgr telemetry socket from the shell.
+#
+#   scripts/obs_tail.sh SOCKET_PATH [--once|--json]
+#
+# Default mode subscribes to the NDJSON event stream and pretty-prints it
+# via `dgr_top` when a built binary is on PATH or in ./build/examples,
+# falling back to raw NDJSON through python3. --once / --json scrape a
+# single Prometheus / JSON snapshot instead. Producer side:
+#
+#   ./build/examples/dgr_scenarios run --telemetry-socket=/tmp/dgr.sock &
+#   scripts/obs_tail.sh /tmp/dgr.sock
+#
+# Doubles as the manual smoke for the socket protocol (all three request
+# verbs exercised from outside the process).
+set -euo pipefail
+
+sock="${1:-}"
+mode="${2:-stream}"
+if [[ -z "$sock" ]]; then
+  echo "usage: $0 SOCKET_PATH [--once|--json]" >&2
+  exit 2
+fi
+
+here="$(cd "$(dirname "$0")/.." && pwd)"
+dgr_top=""
+for cand in "$here/build/examples/dgr_top" "$(command -v dgr_top || true)"; do
+  if [[ -n "$cand" && -x "$cand" ]]; then
+    dgr_top="$cand"
+    break
+  fi
+done
+
+case "$mode" in
+  --once)  [[ -n "$dgr_top" ]] && exec "$dgr_top" --socket="$sock" --once
+           req="metrics" ;;
+  --json)  [[ -n "$dgr_top" ]] && exec "$dgr_top" --socket="$sock" --json
+           req="json" ;;
+  stream|--stream)
+           [[ -n "$dgr_top" ]] && exec "$dgr_top" --socket="$sock"
+           req="stream" ;;
+  *) echo "unknown mode: $mode" >&2; exit 2 ;;
+esac
+
+# No dgr_top binary: speak the line protocol directly over python3's
+# stdlib (the container has no netcat/socat).
+exec python3 - "$sock" "$req" <<'PY'
+import socket, sys
+sock_path, req = sys.argv[1], sys.argv[2]
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+s.sendall((req + "\n").encode())
+try:
+    while True:
+        chunk = s.recv(4096)
+        if not chunk:
+            break
+        sys.stdout.write(chunk.decode("utf-8", "replace"))
+        sys.stdout.flush()
+except KeyboardInterrupt:
+    pass
+PY

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 // Cold paths of the arena subsystem: table growth, pool bookkeeping, and
@@ -158,14 +159,55 @@ bool RoundScratch::invariants_clean() const {
 
 // ------------------------------------------------------------ ArenaPool ----
 
+namespace {
+/// Process-wide pool metrics shared by every ArenaPool instance; the
+/// retained-bytes gauge aggregates deposits/withdrawals across pools (each
+/// pool withdraws its own exported_bytes_ on trim/destruction). All
+/// updates sit on the pool's cold mutex-guarded paths.
+struct PoolMetrics {
+  obs::Counter& acquires;
+  obs::Counter& reuses;
+  obs::Counter& dropped;
+  obs::Gauge& retained_bytes;
+
+  PoolMetrics()
+      : acquires(obs::Registry::instance().counter(
+            "dgr_pool_acquires_total", "RoundScratch bundles requested")),
+        reuses(obs::Registry::instance().counter(
+            "dgr_pool_reuses_total", "Acquires served by a pooled bundle")),
+        dropped(obs::Registry::instance().counter(
+            "dgr_pool_dropped_total",
+            "Releases freed because the pool was full")),
+        retained_bytes(obs::Registry::instance().gauge(
+            "dgr_pool_retained_bytes",
+            "Approximate bytes held by idle pooled bundles")) {}
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = new PoolMetrics;  // immortal (late releases)
+  return *m;
+}
+}  // namespace
+
+ArenaPool::~ArenaPool() {
+  std::lock_guard<std::mutex> lk(mu_);
+  pool_metrics().retained_bytes.sub(static_cast<std::int64_t>(exported_bytes_));
+  exported_bytes_ = 0;
+}
+
 std::unique_ptr<RoundScratch> ArenaPool::acquire() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.acquires;
+    pool_metrics().acquires.add(1);
     if (!free_.empty()) {
       ++stats_.reuses;
+      pool_metrics().reuses.add(1);
       auto s = std::move(free_.back());
       free_.pop_back();
+      const std::size_t fp = s->footprint_bytes();
+      pool_metrics().retained_bytes.sub(static_cast<std::int64_t>(fp));
+      exported_bytes_ -= fp;
       return s;
     }
   }
@@ -180,15 +222,21 @@ void ArenaPool::release(std::unique_ptr<RoundScratch> scratch) {
                 "state (sanitize() failed to restore an invariant)");
   std::lock_guard<std::mutex> lk(mu_);
   if (free_.size() < max_free_) {
+    const std::size_t fp = scratch->footprint_bytes();
+    pool_metrics().retained_bytes.add(static_cast<std::int64_t>(fp));
+    exported_bytes_ += fp;
     free_.push_back(std::move(scratch));
   } else {
     ++stats_.dropped;  // scratch frees on scope exit
+    pool_metrics().dropped.add(1);
   }
 }
 
 void ArenaPool::trim() {
   std::lock_guard<std::mutex> lk(mu_);
   free_.clear();
+  pool_metrics().retained_bytes.sub(static_cast<std::int64_t>(exported_bytes_));
+  exported_bytes_ = 0;
 }
 
 std::size_t ArenaPool::retained_bytes() const {

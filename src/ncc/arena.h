@@ -295,6 +295,11 @@ class ArenaPool {
   /// bounded by max_free x (largest bundle), not by the number of
   /// Networks ever run.
   explicit ArenaPool(std::size_t max_free = 4) : max_free_(max_free) {}
+  /// Withdraws this pool's contribution to the process-wide retained-bytes
+  /// gauge (obs) along with the idle bundles themselves.
+  ~ArenaPool();
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
 
   std::unique_ptr<RoundScratch> acquire();
   void release(std::unique_ptr<RoundScratch> scratch);
@@ -319,6 +324,10 @@ class ArenaPool {
   std::size_t max_free_;
   std::vector<std::unique_ptr<RoundScratch>> free_;
   Stats stats_;
+  // Bytes this pool has exported to the shared retained-bytes gauge
+  // (guarded by mu_); kept so reuse/trim/destruction withdraw exactly what
+  // release deposited.
+  std::size_t exported_bytes_ = 0;
 };
 
 }  // namespace dgr::ncc

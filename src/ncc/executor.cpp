@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace dgr::ncc {
@@ -20,6 +21,48 @@ namespace {
 /// it loudly); silently capping here would change worker-count-dependent
 /// behavior the old per-Network pool never had.
 constexpr unsigned kMaxPoolThreads = 256;
+
+/// Process-wide executor metrics, resolved once and shared by every
+/// Executor instance (test-local pools fold into the same aggregates).
+/// Updates happen at job/claim granularity — next to a mutex acquire the
+/// pool pays anyway — never per task-index. Immortal by design: pooled
+/// workers may still fold counters while function-local statics are being
+/// destroyed after main().
+struct ExecMetrics {
+  obs::Counter& jobs;
+  obs::Counter& tasks;
+  obs::Counter& caller_tasks;
+  obs::Gauge& workers;
+  obs::Gauge& busy;
+  obs::Gauge& clients;
+  obs::Histogram& queue_wait_ns;
+
+  ExecMetrics()
+      : jobs(obs::Registry::instance().counter(
+            "dgr_exec_jobs_total", "Pool-path parallel-for jobs submitted")),
+        tasks(obs::Registry::instance().counter(
+            "dgr_exec_tasks_total", "Task indices claimed and executed")),
+        caller_tasks(obs::Registry::instance().counter(
+            "dgr_exec_caller_tasks_total",
+            "Task indices executed on the submitting thread")),
+        workers(obs::Registry::instance().gauge(
+            "dgr_exec_workers", "Pooled worker threads started")),
+        busy(obs::Registry::instance().gauge(
+            "dgr_exec_busy_workers",
+            "Pooled workers currently executing a claimed batch")),
+        clients(obs::Registry::instance().gauge(
+            "dgr_exec_clients", "Live executor leases")),
+        queue_wait_ns(obs::Registry::instance().histogram(
+            "dgr_exec_queue_wait_ns",
+            "Nanoseconds from job submission to its first claim "
+            "(populated only while obs timing is enabled)",
+            {1000, 10000, 100000, 1000000, 10000000, 100000000})) {}
+};
+
+ExecMetrics& exec_metrics() {
+  static ExecMetrics* m = new ExecMetrics;  // immortal, see struct comment
+  return *m;
+}
 }  // namespace
 
 /// One parallel-for in flight. Stack-allocated by run(); the queue holds a
@@ -32,6 +75,10 @@ struct Executor::Job {
   std::size_t chunk = 1;  // indices claimed per queue access
   std::size_t next = 0;   // tasks claimed (guarded by Impl::mu)
   std::size_t done = 0;   // tasks finished (guarded by Impl::mu)
+  // Submission timestamp for the queue-wait metric; 0 unless obs timing
+  // was enabled at submit. Written before the job is published, read by
+  // whichever thread claims the first batch (ordered by Impl::mu).
+  std::uint64_t enq_ns = 0;
   std::exception_ptr error;
   std::condition_variable cv_done;
 };
@@ -87,9 +134,15 @@ struct Executor::Impl {
                               "job (claim accounting corrupted)");
       job->next = hi;
       if (job->next >= job->count) queue.pop_front();
+      if (lo == 0 && job->enq_ns != 0)
+        exec_metrics().queue_wait_ns.observe(obs::mono_time_ns() -
+                                             job->enq_ns);
+      exec_metrics().busy.add(1);
       lk.unlock();
       for (std::size_t i = lo; i < hi; ++i) execute(job, i, mu);
       lk.lock();
+      exec_metrics().busy.sub(1);
+      exec_metrics().tasks.add(hi - lo);
       tasks += hi - lo;
       NCC_ASSERT_MSG(job->done + (hi - lo) <= job->count,
                      "more task completions than tasks (double claim)");
@@ -102,6 +155,7 @@ struct Executor::Impl {
     if (need > kMaxPoolThreads) need = kMaxPoolThreads;
     while (threads.size() < need) {
       threads.emplace_back([this] { worker_main(); });
+      exec_metrics().workers.add(1);
     }
   }
 };
@@ -115,6 +169,7 @@ Executor::~Executor() {
   }
   impl_->cv_work.notify_all();
   for (auto& th : impl_->threads) th.join();
+  exec_metrics().workers.sub(static_cast<std::int64_t>(impl_->threads.size()));
   delete impl_;
 }
 
@@ -129,6 +184,7 @@ Executor::Lease Executor::lease(unsigned width) {
   if (width == 0) width = 1;
   std::scoped_lock lk(impl_->mu);
   ++impl_->clients;
+  exec_metrics().clients.add(1);
   return Lease(this, width);
 }
 
@@ -139,6 +195,7 @@ void Executor::Lease::release() {
                  "lease released with zero registered clients "
                  "(double release, or a lease outlived its executor)");
   --exec_->impl_->clients;
+  exec_metrics().clients.sub(1);
   exec_ = nullptr;
 }
 
@@ -159,6 +216,8 @@ void Executor::run(const Lease& lease, std::size_t count, void* ctx,
   job.fn = fn;
   job.count = count;
   job.chunk = chunk;
+  if (obs::Registry::timing_enabled()) job.enq_ns = obs::mono_time_ns();
+  exec_metrics().jobs.add(1);
   Impl& im = *impl_;
   {
     std::scoped_lock lk(im.mu);
@@ -183,9 +242,13 @@ void Executor::run(const Lease& lease, std::size_t count, void* ctx,
     const std::size_t hi = std::min(job.count, lo + job.chunk);
     job.next = hi;
     if (job.next >= job.count) im.unqueue(&job);
+    if (lo == 0 && job.enq_ns != 0)
+      exec_metrics().queue_wait_ns.observe(obs::mono_time_ns() - job.enq_ns);
     lk.unlock();
     for (std::size_t i = lo; i < hi; ++i) Impl::execute(&job, i, im.mu);
     lk.lock();
+    exec_metrics().tasks.add(hi - lo);
+    exec_metrics().caller_tasks.add(hi - lo);
     im.tasks += hi - lo;
     im.caller_tasks += hi - lo;
     NCC_ASSERT_MSG(job.done + (hi - lo) <= job.count,

@@ -461,6 +461,15 @@ class Network {
   void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
   TelemetrySink* telemetry() const { return telemetry_; }
 
+  /// Second, independent sink slot reserved for metrics collectors
+  /// (obs::NetMetrics), so attaching process-wide observability never
+  /// displaces a scenario orchestrator on the set_telemetry slot. Same
+  /// contract as set_telemetry: referee context, same RoundSample, fired
+  /// after the telemetry sink. The engine stays obs-agnostic — this slot
+  /// only knows the TelemetrySink interface.
+  void set_metrics(TelemetrySink* sink) { metrics_ = sink; }
+  TelemetrySink* metrics() const { return metrics_; }
+
   /// Per-phase wall-time breakdown (NetStats::phase_ns, RoundSample::
   /// phase_ns) without attaching a telemetry sink — the thread-scaling
   /// bench uses this. Timing is otherwise on exactly while a sink is
@@ -638,6 +647,7 @@ class Network {
   std::size_t crashed_n_ = 0;
   Trace* trace_ = nullptr;
   TelemetrySink* telemetry_ = nullptr;
+  TelemetrySink* metrics_ = nullptr;  // see set_metrics
   // True exactly while round bodies may be executing (set before the
   // dispatch in execute_round, cleared before deliver()). Guards the
   // referee-only knobs above; the write happens-before the worker kick and

@@ -1,0 +1,196 @@
+#include "obs/exporter.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+namespace dgr::obs {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Blocking full write with EINTR retry; returns false on any other error
+/// (the caller closes the socket — a scrape client that died mid-response
+/// is not our problem).
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one request line (up to '\n' or EOF) with a short poll timeout so
+/// a silent client cannot park the accept thread.
+std::string read_request_line(int fd) {
+  std::string line;
+  char c = 0;
+  for (int i = 0; i < 256; ++i) {
+    struct pollfd pfd {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/500) <= 0) break;
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) break;
+    if (c == '\n') break;
+    if (c != '\r') line.push_back(c);
+  }
+  return line;
+}
+
+}  // namespace
+
+struct Exporter::Impl {
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};  // self-pipe: destructor -> accept thread
+  std::thread thread;
+
+  std::mutex mu;  // guards subscribers + counters below
+  std::vector<int> subscribers;
+  bool stopping = false;
+
+  // Served over the same registry as everything else.
+  Counter* scrapes = nullptr;
+  Counter* stream_lines = nullptr;
+  Counter* stream_dropped = nullptr;
+};
+
+Exporter::Exporter(std::string path, Registry& reg)
+    : path_(std::move(path)), reg_(reg), impl_(std::make_unique<Impl>()) {
+  impl_->scrapes = &reg_.counter("dgr_obs_scrapes_total",
+                                 "Snapshot requests served by the exporter");
+  impl_->stream_lines = &reg_.counter(
+      "dgr_obs_stream_lines_total", "Event lines fanned out to subscribers");
+  impl_->stream_dropped =
+      &reg_.counter("dgr_obs_stream_dropped_total",
+                    "Subscribers disconnected for falling behind");
+
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0)
+    throw std::system_error(errno, std::generic_category(), "socket");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    ::close(impl_->listen_fd);
+    throw std::system_error(ENAMETOOLONG, std::generic_category(), path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  ::unlink(path_.c_str());
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl_->listen_fd, 8) != 0) {
+    const int err = errno;
+    ::close(impl_->listen_fd);
+    throw std::system_error(err, std::generic_category(), "bind " + path_);
+  }
+
+  if (::pipe(impl_->wake_pipe) != 0) {
+    const int err = errno;
+    ::close(impl_->listen_fd);
+    ::unlink(path_.c_str());
+    throw std::system_error(err, std::generic_category(), "pipe");
+  }
+
+  impl_->thread = std::thread([this] { serve_main(); });
+}
+
+Exporter::~Exporter() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  // Wake the accept thread's poll; content is irrelevant.
+  const char byte = 0;
+  (void)!::write(impl_->wake_pipe[1], &byte, 1);
+  impl_->thread.join();
+
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (int fd : impl_->subscribers) ::close(fd);
+  impl_->subscribers.clear();
+  ::close(impl_->listen_fd);
+  ::close(impl_->wake_pipe[0]);
+  ::close(impl_->wake_pipe[1]);
+  ::unlink(path_.c_str());
+}
+
+void Exporter::serve_main() {
+  for (;;) {
+    struct pollfd pfds[2] = {{impl_->listen_fd, POLLIN, 0},
+                             {impl_->wake_pipe[0], POLLIN, 0}};
+    if (::poll(pfds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      if (impl_->stopping) return;
+    }
+    if (!(pfds[0].revents & POLLIN)) continue;
+
+    const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    const std::string req = read_request_line(fd);
+    if (req == "stream") {
+      set_nonblocking(fd);
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->subscribers.push_back(fd);
+      continue;  // kept open; publish() feeds it
+    }
+
+    // Snapshot request: serialize outside any Impl lock (registry has its
+    // own), answer, close. "json" gets the JSON snapshot; everything else
+    // (including HTTP-ish lines from curl) gets the Prometheus text.
+    const Snapshot snap = reg_.snapshot();
+    const std::string body =
+        req == "json" ? to_json(snap) + "\n" : to_prometheus(snap);
+    impl_->scrapes->add(1);
+    write_all(fd, body.data(), body.size());
+    ::close(fd);
+  }
+}
+
+void Exporter::publish(const std::string& line) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->subscribers.empty()) return;
+  std::vector<int> live;
+  live.reserve(impl_->subscribers.size());
+  for (int fd : impl_->subscribers) {
+    // Two non-blocking sends (line + '\n'); any failure — including a full
+    // send buffer — drops the subscriber rather than stalling the caller.
+    bool ok = true;
+    ssize_t n = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+    ok = n == static_cast<ssize_t>(line.size());
+    if (ok) {
+      n = ::send(fd, "\n", 1, MSG_NOSIGNAL);
+      ok = n == 1;
+    }
+    if (ok) {
+      live.push_back(fd);
+      impl_->stream_lines->add(1);
+    } else {
+      ::close(fd);
+      impl_->stream_dropped->add(1);
+    }
+  }
+  impl_->subscribers.swap(live);
+}
+
+}  // namespace dgr::obs

@@ -1,0 +1,62 @@
+// obs::Exporter — live telemetry export over a unix-domain socket.
+//
+// Serves the process-wide metrics registry to external observers without a
+// rebuild, in the CCP datapath shape: a scrape interface for snapshots and
+// a subscription stream the simulation publishes per-round events into.
+//
+// Protocol (line-oriented; deliberately curl/`dgr_top`-friendly):
+//   client connects and sends one request line:
+//     "metrics\n" -> one Prometheus text exposition of the registry, close.
+//     "json\n"    -> one JSON snapshot of the registry, close.
+//     "stream\n"  -> subscribe: every publish()ed NDJSON line is forwarded
+//                    until either side closes.
+//   Anything else (including an empty line) is answered with the
+//   Prometheus exposition, so `curl --unix-socket PATH http://x/` works.
+//
+// Never perturbs the simulation: publish() is called from the hot
+// publisher thread (the scenario runner's referee context), so it must not
+// block — subscriber sockets are non-blocking, and a subscriber that can't
+// keep up (full send buffer) is disconnected and counted
+// (dgr_obs_stream_dropped_total) rather than waited on. Snapshot requests
+// are served entirely on the exporter's own accept thread.
+//
+// Lifecycle: the constructor binds and starts the accept thread; the
+// destructor wakes it over a self-pipe, closes every client, and unlinks
+// the socket path. Connect/disconnect at any point must not affect a
+// running simulation's transcript (tested in tests/test_obs.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dgr::obs {
+
+class Exporter {
+ public:
+  /// Binds a listening unix socket at `path` (an existing socket file is
+  /// replaced) and starts serving `reg`. Throws std::system_error when the
+  /// bind fails.
+  explicit Exporter(std::string path, Registry& reg = Registry::instance());
+  ~Exporter();
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Forward one event line to every live "stream" subscriber; a trailing
+  /// '\n' is appended. Non-blocking: lagging subscribers are dropped, and
+  /// with no subscribers this is one mutex acquire on an empty list.
+  void publish(const std::string& line);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Impl;
+  void serve_main();
+
+  std::string path_;
+  Registry& reg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dgr::obs

@@ -1,0 +1,296 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dgr::obs {
+
+// ---------------------------------------------------------------------------
+// Thread shard assignment.
+//
+// A free-list of exclusive shard indices [0, kShards-1) guarded by a mutex.
+// Each thread claims a slot the first time it touches any metric and holds
+// it until thread exit, where the slot returns to the free list. Handoff
+// safety: the releasing thread's last relaxed store to a cell and the
+// acquiring thread's first access are separated by the slot mutex
+// (release-side unlock happens-before acquire-side lock), so a recycled
+// slot never loses an update. If all exclusive slots are taken the thread
+// shares the overflow shard (kShards - 1) and cell_add falls back to
+// fetch_add there.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct ShardSlots {
+  std::mutex mu;
+  bool taken[kShards - 1] = {};
+};
+
+ShardSlots& slots() {
+  // Immortal: thread_local SlotLease destructors of late-exiting threads
+  // (pooled executor workers joined after main()) must still find a live
+  // mutex here, so this is never destroyed.
+  static ShardSlots* s = new ShardSlots;
+  return *s;
+}
+
+struct SlotLease {
+  std::size_t idx;
+  SlotLease() {
+    ShardSlots& s = slots();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (std::size_t i = 0; i < kShards - 1; ++i) {
+      if (!s.taken[i]) {
+        s.taken[i] = true;
+        idx = i;
+        return;
+      }
+    }
+    idx = kShards - 1;  // overflow shard, shared
+  }
+  ~SlotLease() {
+    if (idx + 1 == kShards) return;
+    ShardSlots& s = slots();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.taken[idx] = false;
+  }
+  SlotLease(const SlotLease&) = delete;
+  SlotLease& operator=(const SlotLease&) = delete;
+};
+
+}  // namespace
+
+std::size_t thread_shard() {
+  thread_local SlotLease lease;
+  return lease.idx;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      cells_(new Cell[(bounds_.size() + 1) * kShards]),
+      sum_(new Cell[kShards]) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument("histogram bounds must strictly increase");
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t b = 0; b < out.size(); ++b)
+    out[b] = detail::cell_sum(&cells_[b * kShards]);
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= bounds_.size(); ++b)
+    total += detail::cell_sum(&cells_[b * kShards]);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> Registry::timing_{false};
+
+Registry& Registry::instance() {
+  // Immortal (never destroyed): resolved Counter*/Gauge* pointers are held
+  // by process-lifetime services (the executor, arena pools) that may fold
+  // a last update during static destruction after main().
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Registry::Entry& Registry::entry_of(const std::string& name, MetricType type) {
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (!inserted && it->second.type != type)
+    throw std::logic_error("metric '" + name + "' re-registered with a different type");
+  if (inserted) it->second.type = type;
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_of(name, MetricType::kCounter);
+  if (!e.counter) {
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_of(name, MetricType::kGauge);
+  if (!e.gauge && !e.callback) {
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  if (!e.gauge)
+    throw std::logic_error("metric '" + name + "' is a callback gauge");
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_of(name, MetricType::kHistogram);
+  if (!e.histogram) {
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+void Registry::gauge_callback(const std::string& name, const std::string& help,
+                              std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_of(name, MetricType::kGauge);
+  if (e.gauge)
+    throw std::logic_error("metric '" + name + "' is a stored gauge");
+  e.help = help;
+  e.callback = std::move(fn);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    Sample s;
+    s.name = name;
+    s.help = e.help;
+    s.type = e.type;
+    switch (e.type) {
+      case MetricType::kCounter:
+        s.value = static_cast<std::int64_t>(e.counter->value());
+        break;
+      case MetricType::kGauge:
+        s.value = e.callback ? e.callback() : e.gauge->value();
+        break;
+      case MetricType::kHistogram:
+        s.bounds = e.histogram->bounds();
+        s.buckets = e.histogram->bucket_counts();
+        s.sum = e.histogram->sum();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition formats
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  for (const Sample& s : snap.samples) {
+    out += "# HELP " + s.name + " " + s.help + "\n";
+    out += "# TYPE " + s.name + " ";
+    out += type_name(s.type);
+    out += "\n";
+    if (s.type != MetricType::kHistogram) {
+      out += s.name + " ";
+      append_i64(out, s.value);
+      out += "\n";
+      continue;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      cum += s.buckets[b];
+      out += s.name + "_bucket{le=\"";
+      if (b < s.bounds.size())
+        append_u64(out, s.bounds[b]);
+      else
+        out += "+Inf";
+      out += "\"} ";
+      append_u64(out, cum);
+      out += "\n";
+    }
+    out += s.name + "_sum ";
+    append_u64(out, s.sum);
+    out += "\n";
+    out += s.name + "_count ";
+    append_u64(out, cum);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  for (const Sample& s : snap.samples) {
+    if (!first) out += ",";
+    first = false;
+    // Metric names are [a-zA-Z0-9_:] by construction; no escaping needed.
+    out += "\"" + s.name + "\":";
+    if (s.type != MetricType::kHistogram) {
+      append_i64(out, s.value);
+      continue;
+    }
+    out += "{\"bounds\":[";
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      if (b) out += ",";
+      append_u64(out, s.bounds[b]);
+    }
+    out += "],\"buckets\":[";
+    std::uint64_t count = 0;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      if (b) out += ",";
+      append_u64(out, s.buckets[b]);
+      count += s.buckets[b];
+    }
+    out += "],\"sum\":";
+    append_u64(out, s.sum);
+    out += ",\"count\":";
+    append_u64(out, count);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::uint64_t mono_time_ns() {
+  // Feeds latency metrics only, never a transcript; call sites gate on
+  // Registry::timing_enabled(). det-ok: clock
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace dgr::obs

@@ -1,0 +1,109 @@
+#include "obs/net_metrics.h"
+
+namespace dgr::obs {
+
+namespace {
+
+/// One EWMA step with alpha = 1/8 on a fixed-point value: the CCP-kernel
+/// convention (shift by 3) — cheap, monotone-converging, and integer-exact.
+std::uint64_t ewma_step(std::uint64_t prev, std::uint64_t sample) {
+  return prev - (prev >> 3) + (sample >> 3);
+}
+
+/// Re-export an instance-local reading into a shared gauge as a delta
+/// against what this instance last exported.
+void export_delta(Gauge* g, std::int64_t& exported, std::int64_t now) {
+  g->add(now - exported);
+  exported = now;
+}
+
+}  // namespace
+
+NetMetrics::NetMetrics(Registry& reg)
+    : rounds_(&reg.counter("dgr_net_rounds_total", "Completed delivery rounds")),
+      sent_(&reg.counter("dgr_net_messages_sent_total",
+                         "Messages accepted by Ctx::send")),
+      delivered_(&reg.counter("dgr_net_messages_delivered_total",
+                              "Messages that reached an inbox")),
+      bounced_(&reg.counter("dgr_net_messages_bounced_total",
+                            "Messages returned to sender (capacity overflow)")),
+      dropped_(&reg.counter("dgr_net_messages_dropped_total",
+                            "Messages lost to link loss or crashed receiver")),
+      drop_events_(&reg.counter("dgr_net_drop_events_total",
+                                "Rounds with at least one dropped message")),
+      phase_body_ns_(&reg.counter("dgr_net_phase_body_ns_total",
+                                  "Round-body dispatch wall nanoseconds")),
+      phase_sort_ns_(&reg.counter("dgr_net_phase_sort_ns_total",
+                                  "Drop-filter/counting-sort wall nanoseconds")),
+      phase_rng_ns_(&reg.counter("dgr_net_phase_rng_ns_total",
+                                 "Overflow RNG pre-draw wall nanoseconds")),
+      phase_placement_ns_(&reg.counter("dgr_net_phase_placement_ns_total",
+                                       "Inbox record placement wall nanoseconds")),
+      phase_learn_ns_(&reg.counter("dgr_net_phase_learn_ns_total",
+                                   "Knowledge learn pass wall nanoseconds")),
+      round_sent_(&reg.histogram(
+          "dgr_net_round_sent_messages", "Per-round sent-message distribution",
+          {0, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})),
+      ewma_gauge_(&reg.gauge("dgr_net_delivered_per_round_ewma_x1000",
+                             "EWMA (alpha 1/8) of delivered msgs per round, "
+                             "fixed-point x1000")),
+      ratio_gauge_(&reg.gauge("dgr_net_delivery_ratio_ewma_ppm",
+                              "EWMA (alpha 1/8) of delivered/sent per round, "
+                              "parts per million")),
+      frontier_gauge_(&reg.gauge("dgr_net_frontier_nodes",
+                                 "Active-set size entering the next round")),
+      crashed_gauge_(&reg.gauge("dgr_net_crashed_nodes",
+                                "Nodes currently crashed")) {}
+
+NetMetrics::~NetMetrics() {
+  // Withdraw this instance's contribution to the shared gauges so the
+  // exported totals reflect live Networks only.
+  export_delta(ewma_gauge_, exported_ewma_, 0);
+  export_delta(ratio_gauge_, exported_ratio_, 0);
+  export_delta(frontier_gauge_, exported_frontier_, 0);
+  export_delta(crashed_gauge_, exported_crashed_, 0);
+}
+
+void NetMetrics::on_round(const ncc::RoundSample& smp) {
+  rounds_->add(1);
+  sent_->add(smp.sent);
+  delivered_->add(smp.delivered);
+  bounced_->add(smp.bounced);
+  dropped_->add(smp.dropped);
+  if (smp.dropped > 0) drop_events_->add(1);
+  round_sent_->observe(smp.sent);
+
+  if (smp.phase_ns.total() > 0) {
+    phase_body_ns_->add(smp.phase_ns.body);
+    phase_sort_ns_->add(smp.phase_ns.sort);
+    phase_rng_ns_->add(smp.phase_ns.rng);
+    phase_placement_ns_->add(smp.phase_ns.placement);
+    phase_learn_ns_->add(smp.phase_ns.learn);
+  }
+
+  const std::uint64_t delivered_x1000 = smp.delivered * 1000;
+  const std::uint64_t ratio_ppm =
+      smp.sent > 0 ? smp.delivered * 1000000 / smp.sent : 0;
+  if (!primed_) {
+    // Seed the filters with the first observation instead of decaying up
+    // from zero (the ccp convention for a cold rate estimator).
+    ewma_x1000_ = delivered_x1000;
+    ratio_ppm_ = ratio_ppm;
+    primed_ = true;
+  } else {
+    ewma_x1000_ = ewma_step(ewma_x1000_, delivered_x1000);
+    ratio_ppm_ = ewma_step(ratio_ppm_, ratio_ppm);
+  }
+
+  export_delta(ewma_gauge_, exported_ewma_,
+               static_cast<std::int64_t>(ewma_x1000_));
+  export_delta(ratio_gauge_, exported_ratio_,
+               static_cast<std::int64_t>(ratio_ppm_));
+  export_delta(frontier_gauge_, exported_frontier_,
+               smp.frontier_tracked ? static_cast<std::int64_t>(smp.frontier)
+                                    : 0);
+  export_delta(crashed_gauge_, exported_crashed_,
+               static_cast<std::int64_t>(smp.crashed));
+}
+
+}  // namespace dgr::obs

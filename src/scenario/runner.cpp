@@ -43,8 +43,9 @@ std::uint64_t fnv1a(const std::string& s) {
 /// round r is applied before the stage's r-th round executes.
 class Orchestrator : public ncc::TelemetrySink {
  public:
-  Orchestrator(ncc::Network& net, Telemetry& collect)
-      : net_(net), collect_(collect) {}
+  Orchestrator(ncc::Network& net, Telemetry& collect, const RunRecord& rec,
+               const RunnerOptions& opt)
+      : net_(net), collect_(collect), rec_(rec), opt_(opt) {}
 
   void arm(const std::vector<RoundAction>& actions) {
     actions_ = &actions;
@@ -55,6 +56,7 @@ class Orchestrator : public ncc::TelemetrySink {
 
   void on_round(const ncc::RoundSample& s) override {
     collect_.on_round(s);
+    if (opt_.on_sample) opt_.on_sample(rec_.scenario, rec_.algo, rec_.n, s);
     if (actions_) apply_due(s.round + 1 - base_);
   }
 
@@ -71,6 +73,8 @@ class Orchestrator : public ncc::TelemetrySink {
 
   ncc::Network& net_;
   Telemetry& collect_;
+  const RunRecord& rec_;      // run tag for on_sample (scenario/algo/n)
+  const RunnerOptions& opt_;  // hooks only; never steers the run
   const std::vector<RoundAction>* actions_ = nullptr;
   std::size_t next_ = 0;
   std::uint64_t base_ = 0;
@@ -196,8 +200,9 @@ RunRecord run_one(const ScenarioSpec& spec, Algo algo, std::size_t n,
 
   const CompiledSchedule sched = compile_plan(spec, n, run_seed);
   Telemetry tel(opt.telemetry_interval, opt.telemetry_ring);
-  Orchestrator orch(net, tel);
+  Orchestrator orch(net, tel, rec, opt);
   net.set_telemetry(&orch);
+  if (opt.metrics) net.set_metrics(opt.metrics);
 
   const bool crashes_x = spec.plan.crashes(Stage::kExchange);
   const bool loses_x = spec.plan.loses(Stage::kExchange);
@@ -209,6 +214,7 @@ RunRecord run_one(const ScenarioSpec& spec, Algo algo, std::size_t n,
     rec.validation = std::move(validation);
     rec.validated = validated;
     net.set_telemetry(nullptr);
+    net.set_metrics(nullptr);
     tel.flush();
     const ncc::NetStats& st = net.stats();
     rec.total_rounds = st.rounds;

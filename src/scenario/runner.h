@@ -36,6 +36,8 @@
 
 namespace dgr::ncc {
 class ArenaPool;
+class TelemetrySink;
+struct RoundSample;
 }  // namespace dgr::ncc
 
 namespace dgr::scenario {
@@ -69,6 +71,21 @@ struct RunnerOptions {
   /// not declarative order, under jobs > 1). Calls are serialized — a
   /// progress printer needs no locking of its own.
   std::function<void(std::size_t, std::size_t, const RunRecord&)> progress;
+  /// Metrics sink attached to every run's Network on its set_metrics slot
+  /// (obs::NetMetrics shape; composes with the runner's own orchestrator
+  /// on the telemetry slot). Execution detail, never in reports —
+  /// transcripts are bit-identical attached or detached. Non-owning; must
+  /// outlive the call. Under jobs > 1 the sink sees concurrent runs'
+  /// rounds, so it must be thread-safe (obs::NetMetrics is).
+  ncc::TelemetrySink* metrics = nullptr;
+  /// Live per-round hook: (scenario, algo, n, sample) in referee context —
+  /// this is what `dgr_scenarios --telemetry-socket` feeds NDJSON events
+  /// from. Same caveats as `metrics`: execution detail, and under jobs > 1
+  /// it is called concurrently from different runs (obs::Exporter::publish
+  /// serializes internally).
+  std::function<void(const std::string&, const std::string&, std::uint64_t,
+                     const ncc::RoundSample&)>
+      on_sample;
 };
 
 /// Everything one run produced. All counters are engine-transcript values.

@@ -1,6 +1,46 @@
 #include "serve/cache.h"
 
+#include "obs/metrics.h"
+
 namespace dgr::serve {
+
+namespace {
+/// Process-wide cache metrics: every ResultCache folds into the same
+/// aggregates; the live-entries/bytes gauges move by per-instance deltas
+/// (put adds, evict/destructor subtracts), so concurrent caches sum. All
+/// updates sit inside the cache's existing mu_ critical sections.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& entries;
+  obs::Gauge& bytes;
+
+  CacheMetrics()
+      : hits(obs::Registry::instance().counter("dgr_cache_hits_total",
+                                               "Result-cache lookup hits")),
+        misses(obs::Registry::instance().counter(
+            "dgr_cache_misses_total", "Result-cache lookup misses")),
+        evictions(obs::Registry::instance().counter(
+            "dgr_cache_evictions_total", "Entries evicted from the LRU tail")),
+        entries(obs::Registry::instance().gauge(
+            "dgr_cache_entries", "Live result-cache entries across caches")),
+        bytes(obs::Registry::instance().gauge(
+            "dgr_cache_bytes",
+            "Approximate retained heap bytes across caches")) {}
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics* m = new CacheMetrics;  // immortal (late teardown)
+  return *m;
+}
+}  // namespace
+
+ResultCache::~ResultCache() {
+  std::scoped_lock lk(mu_);
+  cache_metrics().entries.sub(static_cast<std::int64_t>(lru_.size()));
+  cache_metrics().bytes.sub(static_cast<std::int64_t>(bytes_));
+}
 
 std::size_t ResultCache::entry_bytes(const CacheKey& key,
                                      const Realization& r) {
@@ -20,9 +60,11 @@ std::shared_ptr<const Realization> ResultCache::get(const CacheKey& key) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    cache_metrics().misses.add(1);
     return nullptr;
   }
   ++hits_;
+  cache_metrics().hits.add(1);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }
@@ -34,6 +76,8 @@ void ResultCache::put(const CacheKey& key,
   std::scoped_lock lk(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
+    cache_metrics().bytes.add(static_cast<std::int64_t>(cost) -
+                              static_cast<std::int64_t>(it->second->bytes));
     bytes_ -= it->second->bytes;
     bytes_ += cost;
     it->second->value = std::move(value);
@@ -44,6 +88,8 @@ void ResultCache::put(const CacheKey& key,
   lru_.push_front(Entry{key, std::move(value), cost});
   index_.emplace(lru_.front().key, lru_.begin());
   bytes_ += cost;
+  cache_metrics().entries.add(1);
+  cache_metrics().bytes.add(static_cast<std::int64_t>(cost));
   // Entry-count capacity and (when configured) the byte budget both evict
   // from the LRU tail. The newest entry always survives — an oversized
   // single result is served and retained rather than thrashed, and the
@@ -52,9 +98,12 @@ void ResultCache::put(const CacheKey& key,
          (lru_.size() > capacity_ ||
           (byte_budget_ != 0 && bytes_ > byte_budget_))) {
     bytes_ -= lru_.back().bytes;
+    cache_metrics().entries.sub(1);
+    cache_metrics().bytes.sub(static_cast<std::int64_t>(lru_.back().bytes));
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;
+    cache_metrics().evictions.add(1);
   }
 }
 

@@ -39,6 +39,11 @@ class ResultCache {
   /// alone stops meaning anything once request sizes grow.
   explicit ResultCache(std::size_t capacity, std::size_t byte_budget = 0)
       : capacity_(capacity), byte_budget_(byte_budget) {}
+  /// Withdraws this cache's live entries/bytes from the process-wide obs
+  /// gauges (defined in cache.cpp with the metric bindings).
+  ~ResultCache();
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
 
   /// nullptr on miss; a hit moves the entry to the front of the LRU order.
   std::shared_ptr<const Realization> get(const CacheKey& key);

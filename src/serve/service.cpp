@@ -7,11 +7,81 @@
 #include "graph/degree_sequence.h"
 #include "ncc/config.h"
 #include "ncc/network.h"
+#include "obs/metrics.h"
+#include "obs/rows.h"
 #include "realization/implicit_degree.h"
 #include "realization/validate.h"
 #include "util/check.h"
 
 namespace dgr::serve {
+
+namespace {
+/// Process-wide serve metrics (all RealizationService instances fold into
+/// the same aggregates). Counter updates ride the existing mu_ critical
+/// sections; the latency histograms read clocks only while obs timing is
+/// enabled (Registry::set_timing), matching the engine's detached-runs-
+/// read-no-clocks rule.
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& submit_hits;
+  obs::Counter& run_hits;
+  obs::Counter& cold_runs;
+  obs::Counter& batches;
+  obs::Counter& coalesced;
+  obs::Counter& admission_waits;
+  obs::Histogram& batch_size;
+  obs::Histogram& admission_wait_ns;
+  obs::Histogram& hit_ns;
+  obs::Histogram& cold_ns;
+
+  ServeMetrics()
+      : submitted(obs::Registry::instance().counter(
+            "dgr_serve_submitted_total", "Requests submitted")),
+        completed(obs::Registry::instance().counter(
+            "dgr_serve_completed_total", "Responses delivered (any path)")),
+        submit_hits(obs::Registry::instance().counter(
+            "dgr_serve_submit_hits_total",
+            "Requests answered from cache at submit time")),
+        run_hits(obs::Registry::instance().counter(
+            "dgr_serve_run_hits_total",
+            "Requests answered by a driver's cache re-probe")),
+        cold_runs(obs::Registry::instance().counter(
+            "dgr_serve_cold_runs_total", "Full simulations executed")),
+        batches(obs::Registry::instance().counter(
+            "dgr_serve_batches_total", "Driver claims from the queue")),
+        coalesced(obs::Registry::instance().counter(
+            "dgr_serve_coalesced_total",
+            "Same-key twins answered by a batchmate's run")),
+        admission_waits(obs::Registry::instance().counter(
+            "dgr_serve_admission_waits_total",
+            "submit() calls that blocked on a full queue")),
+        batch_size(obs::Registry::instance().histogram(
+            "dgr_serve_batch_size", "Requests claimed per driver batch",
+            {1, 2, 4, 8, 16, 32})),
+        admission_wait_ns(obs::Registry::instance().histogram(
+            "dgr_serve_admission_wait_ns",
+            "Nanoseconds submit() blocked on a full admission queue "
+            "(populated only while obs timing is enabled)",
+            {10000, 100000, 1000000, 10000000, 100000000, 1000000000})),
+        hit_ns(obs::Registry::instance().histogram(
+            "dgr_serve_hit_ns",
+            "Cache-hit answer latency in nanoseconds (populated only while "
+            "obs timing is enabled)",
+            {1000, 10000, 100000, 1000000, 10000000})),
+        cold_ns(obs::Registry::instance().histogram(
+            "dgr_serve_cold_ns",
+            "Cold-run (full simulation) latency in nanoseconds (populated "
+            "only while obs timing is enabled)",
+            {100000, 1000000, 10000000, 100000000, 1000000000,
+             10000000000})) {}
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* m = new ServeMetrics;  // immortal (late completions)
+  return *m;
+}
+}  // namespace
 
 RealizationService::RealizationService(ServiceConfig cfg)
     : cfg_(cfg),
@@ -45,6 +115,8 @@ std::future<RealizationService::Result> RealizationService::submit(
   std::future<Result> future = promise.get_future();
 
   // Submit-time probe: a hit never touches the queue at all.
+  const bool timing = obs::Registry::timing_enabled();
+  const std::uint64_t t_probe = timing ? obs::mono_time_ns() : 0;
   if (Result hit = cache_.get(key)) {
     {
       std::scoped_lock lk(mu_);
@@ -52,15 +124,24 @@ std::future<RealizationService::Result> RealizationService::submit(
       ++stats_.submit_hits;
       ++stats_.completed;
     }
+    serve_metrics().submitted.add(1);
+    serve_metrics().submit_hits.add(1);
+    serve_metrics().completed.add(1);
+    if (timing) serve_metrics().hit_ns.observe(obs::mono_time_ns() - t_probe);
     promise.set_value(std::move(hit));
     return future;
   }
 
   std::unique_lock lk(mu_);
   ++stats_.submitted;
+  serve_metrics().submitted.add(1);
   if (queue_.size() >= cfg_.queue_capacity) {
     ++stats_.admission_waits;
+    serve_metrics().admission_waits.add(1);
+    const std::uint64_t t_wait = timing ? obs::mono_time_ns() : 0;
     cv_space_.wait(lk, [&] { return queue_.size() < cfg_.queue_capacity; });
+    if (timing)
+      serve_metrics().admission_wait_ns.observe(obs::mono_time_ns() - t_wait);
   }
   queue_.push_back(Pending{std::move(key), std::move(promise)});
   lk.unlock();
@@ -91,6 +172,8 @@ void RealizationService::driver_main() {
     stats_.batched_requests += batch.size();
     stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch,
                                                batch.size());
+    serve_metrics().batches.add(1);
+    serve_metrics().batch_size.observe(batch.size());
     lk.unlock();
     cv_space_.notify_all();
 
@@ -115,13 +198,17 @@ void RealizationService::serve_group(std::vector<Pending>& batch,
 
   // Re-probe: an identical request may have been computed (by this or
   // another driver) after this one was admitted.
+  const bool timing = obs::Registry::timing_enabled();
+  const std::uint64_t t0 = timing ? obs::mono_time_ns() : 0;
   if ((result = cache_.get(batch[lead].key))) {
     was_hit = true;
+    if (timing) serve_metrics().hit_ns.observe(obs::mono_time_ns() - t0);
   } else {
     try {
       result = std::make_shared<const Realization>(
           cold_run(batch[lead].key, cfg_.net_threads, &pool_));
       cache_.put(batch[lead].key, result);
+      if (timing) serve_metrics().cold_ns.observe(obs::mono_time_ns() - t0);
     } catch (...) {
       error = std::current_exception();
     }
@@ -146,6 +233,13 @@ void RealizationService::serve_group(std::vector<Pending>& batch,
     } else if (!error) {
       ++stats_.cold_runs;
     }
+  }
+  serve_metrics().completed.add(group.size());
+  serve_metrics().coalesced.add(group.size() - 1);
+  if (was_hit) {
+    serve_metrics().run_hits.add(1);
+  } else if (!error) {
+    serve_metrics().cold_runs.add(1);
   }
 
   for (const std::size_t j : group) {
@@ -221,3 +315,42 @@ ServiceStats RealizationService::stats() const {
 }
 
 }  // namespace dgr::serve
+
+// Row adapters declared in obs/rows.h; defined here so obs never includes
+// serve headers (the dependency arrow stays serve -> obs).
+namespace dgr::obs {
+
+std::vector<Row> rows(const serve::ServiceStats& s) {
+  std::vector<Row> out;
+  const auto push = [&](const char* name, std::uint64_t v) {
+    out.push_back(Row{name, static_cast<std::int64_t>(v)});
+  };
+  push("submitted", s.submitted);
+  push("completed", s.completed);
+  push("submit_hits", s.submit_hits);
+  push("run_hits", s.run_hits);
+  push("cold_runs", s.cold_runs);
+  push("batches", s.batches);
+  push("batched_requests", s.batched_requests);
+  push("max_batch", s.max_batch);
+  push("coalesced", s.coalesced);
+  push("admission_waits", s.admission_waits);
+  return out;
+}
+
+std::vector<Row> rows(const serve::CacheStats& s) {
+  std::vector<Row> out;
+  const auto push = [&](const char* name, std::uint64_t v) {
+    out.push_back(Row{name, static_cast<std::int64_t>(v)});
+  };
+  push("hits", s.hits);
+  push("misses", s.misses);
+  push("evictions", s.evictions);
+  push("size", s.size);
+  push("capacity", s.capacity);
+  push("bytes", s.bytes);
+  push("byte_budget", s.byte_budget);
+  return out;
+}
+
+}  // namespace dgr::obs
